@@ -1,0 +1,125 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// motivation and evaluation sections — one testing.B benchmark per
+// artifact, as indexed in DESIGN.md §3. Each iteration runs the full
+// experiment harness at Quick scale and reports the headline value as a
+// custom metric, so `go test -bench=.` doubles as a reproduction run.
+// cmd/taichi-bench runs the same harnesses at Full scale with complete
+// table output.
+package taichi_test
+
+import (
+	"testing"
+
+	taichi "repro"
+)
+
+// runExperiment executes the named harness once per benchmark iteration
+// and reports selected values as benchmark metrics.
+func runExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	exp := taichi.ExperimentByID(id)
+	if exp == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *taichi.Result
+	for i := 0; i < b.N; i++ {
+		last = exp.Run(taichi.Quick)
+	}
+	for _, k := range metricKeys {
+		if v, ok := last.Values[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig02_MotivationDensity(b *testing.B) {
+	runExperiment(b, "fig2", "startup_norm_4x", "cp_exec_ms_4x")
+}
+
+func BenchmarkFig03_UtilizationCDF(b *testing.B) {
+	runExperiment(b, "fig3", "frac_below_32.5pct")
+}
+
+func BenchmarkFig04_SpikeAnatomy(b *testing.B) {
+	runExperiment(b, "fig4", "naive_worst_us", "taichi_worst_us")
+}
+
+func BenchmarkFig05_NonPreemptibleCensus(b *testing.B) {
+	runExperiment(b, "fig5", "share_1_5ms", "max_ms")
+}
+
+func BenchmarkFig06_IOBreakdown(b *testing.B) {
+	runExperiment(b, "fig6", "preprocess_us", "transfer_us")
+}
+
+func BenchmarkTable1_PreemptionGranularity(b *testing.B) {
+	runExperiment(b, "table1", "naive_p99_us", "taichi_p99_us")
+}
+
+func BenchmarkTable2_FrameworkProperties(b *testing.B) {
+	runExperiment(b, "table2", "type2_ipc_us", "taichi_ipc_us")
+}
+
+func BenchmarkFig11_SynthCP(b *testing.B) {
+	runExperiment(b, "fig11", "speedup_32")
+}
+
+func BenchmarkFig12_TCPCRR(b *testing.B) {
+	runExperiment(b, "fig12", "cps_baseline", "cps_taichi", "cps_type2")
+}
+
+func BenchmarkFig13_FioIOPS(b *testing.B) {
+	runExperiment(b, "fig13", "iops_baseline", "iops_taichi", "iops_type2")
+}
+
+func BenchmarkTable5_PingRTT(b *testing.B) {
+	runExperiment(b, "table5", "taichi_avg_us", "taichi-no-hwprobe_avg_us")
+}
+
+func BenchmarkFig14_DPSuite(b *testing.B) {
+	runExperiment(b, "fig14", "tcp_stream.pps.baseline", "tcp_stream.pps.taichi")
+}
+
+func BenchmarkFig15_MySQL(b *testing.B) {
+	runExperiment(b, "fig15", "avg_query.baseline", "avg_query.taichi")
+}
+
+func BenchmarkFig16_Nginx(b *testing.B) {
+	runExperiment(b, "fig16", "http_short.baseline", "http_short.taichi")
+}
+
+func BenchmarkFig17_VMStartup(b *testing.B) {
+	runExperiment(b, "fig17", "improvement_4x")
+}
+
+func BenchmarkSec8_DynamicDP(b *testing.B) {
+	runExperiment(b, "sec8", "cps_gain_pct", "iops_gain_pct")
+}
+
+func BenchmarkAblation_AdaptiveSlice(b *testing.B) {
+	runExperiment(b, "abl-slice", "fixed_exits", "adaptive_exits")
+}
+
+func BenchmarkAblation_AdaptiveYield(b *testing.B) {
+	runExperiment(b, "abl-yield", "fixed_fp_ratio", "adaptive_fp_ratio")
+}
+
+func BenchmarkAblation_LockRescue(b *testing.B) {
+	runExperiment(b, "abl-rescue", "stuck_ticks_off", "stuck_ticks_on")
+}
+
+func BenchmarkAblation_PostedInterrupts(b *testing.B) {
+	runExperiment(b, "abl-posted", "posted_ipi_exits", "unposted_ipi_exits")
+}
+
+func BenchmarkSec8_RealtimeContext(b *testing.B) {
+	runExperiment(b, "sec8-rt", "static_p99_us", "taichi_p99_us")
+}
+
+func BenchmarkAblation_ConnTrack(b *testing.B) {
+	runExperiment(b, "abl-conntrack", "cps_big", "cps_small")
+}
+
+func BenchmarkAblation_IPIV(b *testing.B) {
+	runExperiment(b, "abl-ipiv", "delivery_p50_ipiv_us", "delivery_p50_noipiv_us")
+}

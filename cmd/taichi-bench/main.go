@@ -1,0 +1,82 @@
+// Command taichi-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	taichi-bench                 # run every experiment at full scale
+//	taichi-bench -quick          # quarter-scale smoke run
+//	taichi-bench -exp fig11,table5
+//	taichi-bench -list
+//
+// Output is plain text: one section per experiment with the same rows
+// and series the paper reports. EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	taichi "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at quarter scale (fast smoke run)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	jsonDir := flag.String("json", "", "also write per-experiment JSON results into this directory")
+	flag.Parse()
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range taichi.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := taichi.Full
+	if *quick {
+		scale = taichi.Quick
+	}
+
+	var selected []taichi.Experiment
+	if *exps == "" {
+		selected = taichi.Experiments()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e := taichi.ExperimentByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	fmt.Printf("Tai Chi reproduction bench — %d experiment(s), scale=%s\n\n", len(selected), scale.Label)
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(scale)
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+		if *jsonDir != "" {
+			data, err := res.JSON()
+			if err == nil {
+				err = os.WriteFile(filepath.Join(*jsonDir, e.ID+".json"), data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "json export %s: %v\n", e.ID, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command taichi-report renders the JSON results written by
+// `taichi-bench -json <dir>` into a single markdown report — a
+// regenerable EXPERIMENTS.md-style summary.
+//
+// Usage:
+//
+//	taichi-bench -json results/
+//	taichi-report results/ > report.md
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type result struct {
+	ID     string             `json:"id"`
+	Values map[string]float64 `json:"values"`
+	Notes  []string           `json:"notes"`
+	Tables []string           `json:"tables"`
+	Series []string           `json:"series"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: taichi-report <json-dir>")
+		os.Exit(2)
+	}
+	dir := os.Args[1]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "no .json results in", dir)
+		os.Exit(1)
+	}
+
+	fmt.Println("# Tai Chi reproduction report")
+	fmt.Println()
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var r result
+		if err := json.Unmarshal(data, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s\n\n", r.ID)
+		for _, t := range r.Tables {
+			fmt.Println("```")
+			fmt.Print(t)
+			fmt.Println("```")
+			fmt.Println()
+		}
+		if len(r.Values) > 0 {
+			keys := make([]string, 0, len(r.Values))
+			for k := range r.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Println("| value | measurement |")
+			fmt.Println("|---|---|")
+			for _, k := range keys {
+				fmt.Printf("| `%s` | %g |\n", k, r.Values[k])
+			}
+			fmt.Println()
+		}
+		for _, n := range r.Notes {
+			fmt.Printf("> %s\n\n", n)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command taichi-sim runs one co-scheduling scenario and prints the
+// resulting data-plane and control-plane statistics — a workbench for
+// exploring the framework outside the fixed paper experiments.
+//
+// Usage:
+//
+//	taichi-sim -mode taichi -cp 16 -util 0.3 -dur 5s
+//	taichi-sim -mode static -workload crr -dur 2s
+//	taichi-sim -mode naive -workload ping
+//
+// Modes: taichi, static, type1, type2, naive.
+// Workloads: none, ping, crr, stream, rr, fio, mysql, nginx.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+type host interface {
+	SpawnCP(name string, prog kernel.Program) *kernel.Thread
+}
+
+func main() {
+	mode := flag.String("mode", "taichi", "taichi | static | type1 | type2 | naive")
+	wl := flag.String("workload", "crr", "none | ping | crr | stream | rr | fio | mysql | nginx")
+	cp := flag.Int("cp", 16, "concurrent synth_cp tasks (50ms each, continuous churn)")
+	util := flag.Float64("util", 0.30, "background DP utilization target")
+	durFlag := flag.Duration("dur", 2*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	var node *platform.Node
+	var h host
+	var tc *core.TaiChi
+	switch *mode {
+	case "taichi":
+		tc = core.NewDefault(*seed)
+		node, h = tc.Node, tc
+	case "static":
+		b := baseline.NewStaticDefault(*seed)
+		node, h = b.Node, b
+	case "type1":
+		tc = baseline.NewType1(*seed)
+		node, h = tc.Node, tc
+	case "type2":
+		b := baseline.NewType2(*seed)
+		node, h = b.Node, b
+	case "naive":
+		tc = baseline.NewNaive(*seed)
+		node, h = tc.Node, tc
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	horizon := sim.Duration(durFlag.Nanoseconds())
+
+	// Background DP load.
+	if *util > 0 {
+		bg := workload.NewBackground(node, workload.DefaultBackground(*util))
+		bg.Start()
+	}
+
+	// CP churn: keep ~cp synth tasks alive.
+	var tasks []*kernel.Thread
+	if *cp > 0 {
+		cfg := controlplane.DefaultSynthCP()
+		r := node.Stream("sim.cp")
+		var churn func(i int)
+		churn = func(i int) {
+			tasks = append(tasks, h.SpawnCP(fmt.Sprintf("synth%d", i), controlplane.SynthCP(cfg, r)))
+			node.Engine.Schedule(sim.Exponential(r, sim.Duration(float64(50*sim.Millisecond)/float64(*cp))), func() { churn(i + 1) })
+		}
+		churn(0)
+	}
+
+	// Foreground benchmark.
+	var report func()
+	switch *wl {
+	case "none":
+		report = func() {}
+	case "ping":
+		cfg := workload.DefaultPing()
+		cfg.Count = int(horizon / cfg.Interval)
+		p := workload.NewPing(node, cfg)
+		p.Start(nil)
+		report = func() { fmt.Println(p.RTT.Summarize()) }
+	case "crr":
+		c := workload.NewCRR(node, workload.DefaultCRR())
+		c.Start()
+		report = func() {
+			fmt.Printf("crr: %.0f conn/s, %.0f pkt/s, lat %v p99 %v\n",
+				c.CPS(node.Now()), c.PPS(node.Now()),
+				c.TxnLatency.Mean(), c.TxnLatency.Quantile(0.99))
+		}
+	case "stream":
+		s := workload.NewStream(node, workload.DefaultStream())
+		s.Start()
+		report = func() {
+			fmt.Printf("stream: %.0f pkt/s, lat %v p99 %v\n",
+				s.PPS(node.Now()), s.Latency.Mean(), s.Latency.Quantile(0.99))
+		}
+	case "rr":
+		r := workload.NewRR(node, workload.DefaultRR())
+		r.Start()
+		report = func() {
+			fmt.Printf("rr: %.0f pkt/s, lat %v p99 %v\n",
+				r.PPS(node.Now()), r.Latency.Mean(), r.Latency.Quantile(0.99))
+		}
+	case "fio":
+		f := workload.NewFio(node, workload.DefaultFio())
+		f.Start()
+		report = func() {
+			fmt.Printf("fio: %.0f IOPS, %.1f MB/s, lat %v p99 %v\n",
+				f.IOPS(node.Now()), f.BandwidthMBps(node.Now()),
+				f.Latency.Mean(), f.Latency.Quantile(0.99))
+		}
+	case "mysql":
+		m := workload.NewMySQL(node, workload.DefaultMySQL())
+		m.Start()
+		report = func() {
+			fmt.Printf("mysql: %.0f q/s avg, %.0f q/s max, %.0f tx/s\n",
+				m.AvgQPS(node.Now()), m.MaxQPS(), m.AvgTPS(node.Now()))
+		}
+	case "nginx":
+		n := workload.NewNginx(node, workload.DefaultNginx(false, true))
+		n.Start()
+		report = func() { fmt.Printf("nginx: %.0f req/s\n", n.RPS(node.Now())) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	node.Run(node.Now().Add(horizon))
+	wall := time.Since(start)
+
+	fmt.Printf("mode=%s workload=%s simulated=%v wall=%.2fs events=%d\n",
+		*mode, *wl, horizon, wall.Seconds(), node.Engine.Fired())
+	report()
+
+	// CP summary.
+	if len(tasks) > 0 {
+		h := metrics.NewHistogram("cp.turnaround")
+		done := 0
+		for _, t := range tasks {
+			if t.State() == kernel.StateDone {
+				done++
+				h.Record(t.Turnaround())
+			}
+		}
+		fmt.Printf("cp: %d/%d synth tasks done, turnaround mean %v p99 %v\n",
+			done, len(tasks), h.Mean(), h.Quantile(0.99))
+	}
+
+	// DP utilization + Tai Chi internals.
+	fmt.Printf("dp: net util %.1f%%", 100*node.Net.MeanUtilization())
+	if node.Stor != nil {
+		fmt.Printf(", stor util %.1f%%", 100*node.Stor.MeanUtilization())
+	}
+	fmt.Println()
+	if tc != nil && tc.Sched != nil {
+		fmt.Printf("taichi: yields=%d preempts=%d rotations=%d rescues=%d preempt_lat p99=%v\n",
+			tc.Sched.Yields.Value(), tc.Sched.Preempts.Value(),
+			tc.Sched.Rotations.Value(), tc.Sched.Rescues.Value(),
+			tc.Sched.PreemptLatency.Quantile(0.99))
+	}
+}

@@ -1,0 +1,96 @@
+// Command taichi-trace runs a control-plane mix on the chosen system and
+// analyzes its execution trace: the non-preemptible routine census
+// (Figure 5), IPI delivery latency, VM-exit reasons, and (optionally)
+// a raw event timeline window — the tooling counterpart of the paper's
+// §3.2 production analysis.
+//
+// Usage:
+//
+//	taichi-trace -mode static -dur 5s
+//	taichi-trace -mode taichi -timeline 10ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	mode := flag.String("mode", "static", "static | taichi")
+	durFlag := flag.Duration("dur", 5*time.Second, "simulated duration")
+	timeline := flag.Duration("timeline", 0, "print the raw event timeline for the first N of simulated time")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	flag.Parse()
+
+	var node *platform.Node
+	var spawn func(string, kernel.Program) *kernel.Thread
+	switch *mode {
+	case "static":
+		b := baseline.NewStaticDefault(*seed)
+		node, spawn = b.Node, b.SpawnCP
+	case "taichi":
+		tc := core.NewDefault(*seed)
+		node, spawn = tc.Node, tc.SpawnCP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	// A production-like CP mix (monitors + synth churn), the §3.2 setup.
+	for i := 0; i < 12; i++ {
+		spawn(fmt.Sprintf("monitor%d", i),
+			controlplane.Monitor(controlplane.DefaultMonitor(), node.Stream(fmt.Sprintf("mon%d", i))))
+	}
+	cfg := controlplane.DefaultSynthCP()
+	r := node.Stream("churn")
+	var churn func(i int)
+	churn = func(i int) {
+		spawn(fmt.Sprintf("churn%d", i), controlplane.SynthCP(cfg, r))
+		node.Engine.Schedule(sim.Exponential(r, 40*sim.Millisecond), func() { churn(i + 1) })
+	}
+	churn(0)
+
+	horizon := sim.Duration(durFlag.Nanoseconds())
+	node.Run(node.Now().Add(horizon))
+
+	// Census (Figure 5 analysis).
+	census := node.Tracer.NonPreemptibleCensus()
+	fmt.Printf("non-preemptible routines: %d total, max %v\n", census.Count(), census.Max())
+	for _, b := range trace.CensusBuckets(census) {
+		fmt.Printf("  %8v - %8v : %d\n", b.Lo, b.Hi, b.Count)
+	}
+
+	// IPI latency.
+	if ipi := node.Tracer.IPILatencies(); ipi.Count() > 0 {
+		fmt.Printf("ipi delivery: n=%d mean=%v p99=%v\n", ipi.Count(), ipi.Mean(), ipi.Quantile(0.99))
+	}
+
+	// VM-exit reasons (Tai Chi only).
+	if reasons := node.Tracer.ExitReasonCounts(); len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("vm-exit reasons:")
+		for _, k := range keys {
+			fmt.Printf("  %-8s %d\n", k, reasons[k])
+		}
+	}
+
+	if *timeline > 0 {
+		fmt.Println("timeline:")
+		fmt.Print(node.Tracer.Timeline(0, sim.Time(timeline.Nanoseconds())))
+	}
+}

@@ -1,0 +1,45 @@
+// On-demand instruction-level auditing — the paper's §8 discussion.
+// Because hybrid virtualization makes vCPUs ordinary native CPUs, any
+// running application can be moved into an auditing vCPU domain with
+// nothing but a CPU-affinity change, observed at privileged-operation
+// granularity by the hypervisor, and transparently moved back — zero
+// persistent overhead on everything else.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+
+	taichi "repro"
+	"repro/internal/controlplane"
+	"repro/internal/kernel"
+)
+
+func main() {
+	sys := taichi.New(7)
+
+	// A fleet of ordinary CP tasks...
+	cfg := controlplane.DefaultSynthCP()
+	cfg.NonPreemptFrac = 0.1
+	var suspect *kernel.Thread
+	for i := 0; i < 6; i++ {
+		th := sys.SpawnCP(fmt.Sprintf("task%d", i),
+			controlplane.SynthCP(cfg, sys.Stream(fmt.Sprintf("task%d", i))))
+		if i == 3 {
+			suspect = th
+		}
+	}
+
+	// ...one of which we want to watch. StartAudit pins it to an auditing
+	// vCPU via standard affinity; the hypervisor observes every segment it
+	// begins.
+	audit := sys.StartAudit(suspect)
+	sys.Run(taichi.Seconds(2))
+
+	fmt.Println(audit.Stop())
+	fmt.Printf("target state: %v after %v of CPU time\n", suspect.State(), suspect.CPUTime)
+	fmt.Println("\nThe audited task ran to completion inside the vCPU domain while its")
+	fmt.Println("five siblings ran unwatched and unaffected — auditing is per-target,")
+	fmt.Println("on-demand, and needs no code changes in the audited application.")
+}

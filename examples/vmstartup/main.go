@@ -1,0 +1,50 @@
+// VM startup under instance-density pressure — the paper's Figure 17
+// scenario. A cluster manager fires VM creation requests at the SmartNIC
+// control plane; the device-management tasks that gate each startup
+// starve on the static partition as density grows, while Tai Chi absorbs
+// the same load on borrowed idle DP cycles.
+//
+//	go run ./examples/vmstartup
+package main
+
+import (
+	"fmt"
+
+	taichi "repro"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("density | static startup/SLO | taichi startup/SLO | improvement")
+	fmt.Println("--------+--------------------+--------------------+------------")
+	for _, density := range []float64{1, 2, 3, 4} {
+		static := run(false, density)
+		tch := run(true, density)
+		fmt.Printf("%6.0fx | %18.2f | %18.2f | %10.2fx\n", density, static, tch, static/tch)
+	}
+	fmt.Println("\n(startup time normalized to the SLO; >1 means violation — paper Fig 17)")
+}
+
+func run(useTaiChi bool, density float64) float64 {
+	seed := 900 + int64(density)
+	var host cluster.Host
+	var runUntil func()
+	if useTaiChi {
+		sys := taichi.New(seed)
+		bg := workload.NewBackground(sys.Node, workload.DefaultBackground(0.30))
+		bg.Start()
+		host = sys
+		runUntil = func() { sys.Run(taichi.Seconds(8)) }
+	} else {
+		b := taichi.NewStatic(seed)
+		bg := workload.NewBackground(b.Node, workload.DefaultBackground(0.30))
+		bg.Start()
+		host = b
+		runUntil = func() { b.Run(taichi.Seconds(8)) }
+	}
+	mgr := cluster.NewManager(host, cluster.DefaultConfig(density))
+	mgr.Start()
+	runUntil()
+	return mgr.NormalizedStartup()
+}

@@ -1,0 +1,61 @@
+package taichi_test
+
+import (
+	"testing"
+
+	taichi "repro"
+	"repro/internal/controlplane"
+	"repro/internal/kernel"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sys := taichi.New(1)
+	job := sys.SpawnCP("job", controlplane.SynthCP(controlplane.DefaultSynthCP(), sys.Stream("job")))
+	sys.Run(taichi.Seconds(1))
+	if job.State() != kernel.StateDone {
+		t.Fatalf("job state %v", job.State())
+	}
+}
+
+func TestFacadeStaticBaseline(t *testing.T) {
+	b := taichi.NewStatic(2)
+	job := b.SpawnCP("job", controlplane.SynthCP(controlplane.DefaultSynthCP(), b.Node.Stream("job")))
+	b.Run(taichi.Seconds(1))
+	if job.State() != kernel.StateDone {
+		t.Fatalf("job state %v", job.State())
+	}
+}
+
+func TestFacadeCustomConfig(t *testing.T) {
+	opts := taichi.DefaultOptions()
+	opts.Seed = 3
+	cfg := taichi.DefaultConfig()
+	cfg.VCPUs = 4
+	sys := taichi.NewWithConfig(opts, cfg)
+	sys.Run(taichi.Milliseconds(10))
+	if got := len(sys.Sched.VCPUs()); got != 4 {
+		t.Fatalf("vCPU pool %d, want 4", got)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(taichi.Experiments()) < 20 {
+		t.Fatal("experiment registry incomplete")
+	}
+	if taichi.ExperimentByID("fig6") == nil {
+		t.Fatal("fig6 missing")
+	}
+	res := taichi.ExperimentByID("fig6").Run(taichi.Quick)
+	if res.Values["preprocess_us"] != 2.7 {
+		t.Fatalf("fig6 preprocess %.2f", res.Values["preprocess_us"])
+	}
+}
+
+func TestFacadeTimeHelpers(t *testing.T) {
+	if taichi.Seconds(1) != 1_000_000_000 {
+		t.Fatal("Seconds")
+	}
+	if taichi.Milliseconds(1.5) != 1_500_000 {
+		t.Fatal("Milliseconds")
+	}
+}

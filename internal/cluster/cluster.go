@@ -1,0 +1,203 @@
+// Package cluster models the cluster-management side of the paper's
+// VM-startup experiments (Figures 2 and 17): VM creation requests arrive
+// at the SmartNIC's control plane, a device-management CP task provisions
+// the emulated devices (coordinating with the data plane), QEMU then
+// instantiates the VM on the host, and the manager accounts startup time
+// against the SLO. Instance density scales both the request rate and the
+// background monitoring load, which is what drives the baseline's CP
+// starvation at high density.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/controlplane"
+	"repro/internal/device"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Host abstracts the node flavour (Tai Chi, static, type-2) the manager
+// drives: it can deploy CP tasks and exposes the simulated clock.
+type Host interface {
+	// SpawnCP deploys one CP task.
+	SpawnCP(name string, prog kernel.Program) *kernel.Thread
+	// Engine exposes the node's event engine.
+	Engine() *sim.Engine
+	// Coordinator returns the CP→DP device-configuration path.
+	Coordinator() controlplane.DPCoordinator
+	// Lock returns the shared device-driver lock.
+	Lock() *kernel.SpinLock
+	// Stream returns a deterministic RNG stream.
+	Stream(name string) *rand.Rand
+}
+
+// Config parameterizes the VM-startup workload.
+type Config struct {
+	// Density is the instance-density multiplier (1.0 = the paper's
+	// normal density).
+	Density float64
+	// BaseArrivalRate is VM creations/sec at density 1.0; the actual rate
+	// scales linearly with density.
+	BaseArrivalRate float64
+	// QEMUTime is the host-side instantiation time after device init.
+	QEMUTime sim.Duration
+	// StartupSLO normalizes reported startup times.
+	StartupSLO sim.Duration
+	// MonitorsPerDensity is how many periodic monitoring tasks run per
+	// 1.0 of density (device monitoring scales with device count).
+	MonitorsPerDensity int
+	// Devices describes each VM's device complement.
+	Devices []controlplane.DeviceSpec
+	// VMs caps how many creations to issue (0 = unlimited).
+	VMs int
+	// VMLifetime is the mean VM lifetime before destruction triggers the
+	// device-deinitialization workflow (0 = VMs never terminate).
+	VMLifetime sim.Duration
+}
+
+// DefaultConfig mirrors the §6.6 setup.
+func DefaultConfig(density float64) Config {
+	return Config{
+		Density:            density,
+		BaseArrivalRate:    12,
+		QEMUTime:           150 * sim.Millisecond,
+		StartupSLO:         280 * sim.Millisecond,
+		MonitorsPerDensity: 20,
+		Devices:            controlplane.DefaultVMDevices(),
+		VMLifetime:         60 * sim.Second,
+	}
+}
+
+// Manager drives VM creations against a host.
+type Manager struct {
+	cfg  Config
+	host Host
+	r    *rand.Rand
+
+	// StartupTime records request→VM-running wall times.
+	StartupTime *metrics.Histogram
+	// CPExecTime records the device-management portion alone (the CP task
+	// execution time of Figure 2).
+	CPExecTime *metrics.Histogram
+	// Issued / Completed count VM creations; Destroyed counts completed
+	// teardowns.
+	Issued    uint64
+	Completed uint64
+	Destroyed uint64
+
+	// Devices is the node's emulated-device inventory.
+	Devices *device.Registry
+
+	stopped bool
+}
+
+// NewManager builds the workload around a host.
+func NewManager(host Host, cfg Config) *Manager {
+	return &Manager{
+		cfg:         cfg,
+		host:        host,
+		r:           host.Stream("cluster"),
+		StartupTime: metrics.NewHistogram("vm.startup"),
+		CPExecTime:  metrics.NewHistogram("vm.cp_exec"),
+		Devices:     device.NewRegistry(host.Engine().Now),
+	}
+}
+
+// Start launches the background monitors and the VM-creation arrival
+// process.
+func (m *Manager) Start() {
+	nMon := int(float64(m.cfg.MonitorsPerDensity) * m.cfg.Density)
+	for i := 0; i < nMon; i++ {
+		mcfg := controlplane.DefaultMonitor()
+		m.host.SpawnCP(fmt.Sprintf("monitor%d", i),
+			controlplane.Monitor(mcfg, m.host.Stream(fmt.Sprintf("mon%d", i))))
+	}
+	m.scheduleNext()
+}
+
+// Stop halts new VM creations (in-flight ones complete).
+func (m *Manager) Stop() { m.stopped = true }
+
+func (m *Manager) scheduleNext() {
+	if m.stopped || (m.cfg.VMs > 0 && int(m.Issued) >= m.cfg.VMs) {
+		return
+	}
+	rate := m.cfg.BaseArrivalRate * m.cfg.Density
+	gap := sim.Duration(float64(sim.Second) / rate)
+	m.host.Engine().Schedule(sim.Exponential(m.r, gap), func() {
+		m.createVM()
+		m.scheduleNext()
+	})
+}
+
+// createVM runs the Figure 1c red path: CP device init, then QEMU. Each
+// device gets an inventory record that activates as its queues come up;
+// once the VM is running, its eventual termination triggers the
+// deinitialization workflow.
+func (m *Manager) createVM() {
+	m.Issued++
+	reqAt := m.host.Engine().Now()
+	id := int(m.Issued)
+
+	// Provision inventory records (one ENIC, the rest VBlk per Table 4).
+	records := make([]*device.Device, len(m.cfg.Devices))
+	for i, spec := range m.cfg.Devices {
+		kind := device.VBlk
+		if i == 0 {
+			kind = device.ENIC
+		}
+		bindings := make([]device.QueueBinding, spec.Queues)
+		for q := range bindings {
+			bindings[q] = device.QueueBinding{Flow: i*8 + q, Core: -1}
+		}
+		records[i] = m.Devices.Provision(id, kind, bindings)
+	}
+
+	prog := controlplane.DeviceInitJob(m.cfg.Devices, m.host.Lock(),
+		m.host.Coordinator(), m.host.Stream(fmt.Sprintf("vm%d", id)),
+		func(i int) { m.Devices.Activate(records[i]) },
+		func() {
+			devDone := m.host.Engine().Now()
+			m.CPExecTime.Record(devDone.Sub(reqAt))
+			// Devices ready: notify QEMU (step 5) and wait out the host
+			// instantiation.
+			m.host.Engine().Schedule(m.cfg.QEMUTime, func() {
+				m.Completed++
+				m.StartupTime.Record(m.host.Engine().Now().Sub(reqAt))
+				if m.cfg.VMLifetime > 0 {
+					m.host.Engine().Schedule(sim.Exponential(m.r, m.cfg.VMLifetime), func() {
+						m.destroyVM(id, records)
+					})
+				}
+			})
+		})
+	m.host.SpawnCP(fmt.Sprintf("devinit-vm%d", id), prog)
+}
+
+// destroyVM runs the teardown workflow: CP deinitializes every device and
+// releases its DP queues.
+func (m *Manager) destroyVM(id int, records []*device.Device) {
+	for _, d := range records {
+		m.Devices.BeginDestroy(d)
+	}
+	prog := controlplane.DeviceDeinitJob(m.cfg.Devices, m.host.Lock(),
+		m.host.Coordinator(), m.host.Stream(fmt.Sprintf("vmdel%d", id)),
+		func(i int) { m.Devices.FinishDestroy(records[i]) },
+		func() { m.Destroyed++ })
+	m.host.SpawnCP(fmt.Sprintf("devdeinit-vm%d", id), prog)
+}
+
+// NormalizedStartup returns mean startup time divided by the SLO — the
+// y-axis of Figures 2 and 17.
+func (m *Manager) NormalizedStartup() float64 {
+	if m.StartupTime.Count() == 0 {
+		return 0
+	}
+	return float64(m.StartupTime.Mean()) / float64(m.cfg.StartupSLO)
+}
+
+// MeanCPExec returns the mean device-management execution time.
+func (m *Manager) MeanCPExec() sim.Duration { return m.CPExecTime.Mean() }

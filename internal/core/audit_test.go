@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+func TestAuditObservesPrivilegedActivity(t *testing.T) {
+	tc := newTaiChi(30, nil)
+	cfg := controlplane.DefaultSynthCP()
+	cfg.Total = 20 * sim.Millisecond
+	cfg.NonPreemptFrac = 0.3
+	target := tc.SpawnCP("target", controlplane.SynthCP(cfg, tc.Stream("target")))
+
+	audit := tc.StartAudit(target)
+	tc.Run(sim.Time(2 * sim.Second))
+	if target.State() != kernel.StateDone {
+		t.Fatalf("audited target state %v (cpu %v)", target.State(), target.CPUTime)
+	}
+	if audit.UserPhases == 0 || audit.Syscalls+audit.NonPreempt == 0 {
+		t.Fatalf("audit saw nothing: %+v", audit)
+	}
+	report := audit.Stop()
+	if !strings.Contains(report, "target") || !strings.Contains(report, "syscalls") {
+		t.Fatalf("bad report: %s", report)
+	}
+	if audit.Active() {
+		t.Fatal("audit still active after Stop")
+	}
+}
+
+func TestAuditConfinesThreadToAuditVCPU(t *testing.T) {
+	tc := newTaiChi(31, nil)
+	target := tc.SpawnCP("target", &kernel.SliceProgram{Segments: []kernel.Segment{
+		{Kind: kernel.SegCompute, Dur: 50 * sim.Millisecond},
+	}})
+	a := tc.StartAudit(target)
+	if !target.AllowedOn(a.vcpuID) {
+		t.Fatal("target not bound to the audit vCPU")
+	}
+	for _, id := range tc.CPAffinity() {
+		if id != a.vcpuID && target.AllowedOn(id) {
+			t.Fatalf("target still allowed on cpu %d during audit", id)
+		}
+	}
+	tc.Run(sim.Time(sim.Second))
+	a.Stop()
+	// Affinity restored to the standard CP mask (if still alive) or done.
+	if target.State() != kernel.StateDone {
+		allowed := 0
+		for _, id := range tc.CPAffinity() {
+			if target.AllowedOn(id) {
+				allowed++
+			}
+		}
+		if allowed < 2 {
+			t.Fatal("affinity not restored after audit")
+		}
+	}
+}
+
+func TestAuditDoesNotDisturbOtherThreads(t *testing.T) {
+	tc := newTaiChi(32, nil)
+	cfg := controlplane.DefaultSynthCP()
+	cfg.Total = 10 * sim.Millisecond
+	target := tc.SpawnCP("target", controlplane.SynthCP(cfg, tc.Stream("t")))
+	other := tc.SpawnCP("other", controlplane.SynthCP(cfg, tc.Stream("o")))
+	a := tc.StartAudit(target)
+	tc.Run(sim.Time(sim.Second))
+	if other.State() != kernel.StateDone {
+		t.Fatal("bystander thread blocked by audit")
+	}
+	if a.Syscalls > 0 {
+		// The observer must have attributed activity only to the target;
+		// indirectly checked because the counters only increment for it.
+		_ = a
+	}
+	a.Stop()
+}
+
+func TestAuditFinishedThreadPanics(t *testing.T) {
+	tc := newTaiChi(33, nil)
+	th := tc.SpawnCP("quick", &kernel.SliceProgram{Segments: []kernel.Segment{
+		{Kind: kernel.SegCompute, Dur: sim.Millisecond},
+	}})
+	tc.Run(sim.Time(100 * sim.Millisecond))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tc.StartAudit(th)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/controlplane"
+	"repro/internal/dataplane"
+	"repro/internal/kernel"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// TaiChi is a fully assembled Tai Chi node: the platform (accelerator,
+// DP services, native OS on the CP cores) plus the hybrid-virtualization
+// scheduling framework.
+type TaiChi struct {
+	Node  *platform.Node
+	Sched *Scheduler
+	Cfg   Config
+
+	// DriverLock is the shared device-driver lock CP tasks contend on —
+	// the source of the paper's Figure 4 latency-spike anatomy.
+	DriverLock *kernel.SpinLock
+
+	coord controlplane.DPCoordinator
+}
+
+// New mounts Tai Chi onto a platform node.
+func New(node *platform.Node, cfg Config) *TaiChi {
+	return &TaiChi{
+		Node:       node,
+		Sched:      NewScheduler(node, cfg),
+		Cfg:        cfg,
+		DriverLock: kernel.NewSpinLock("driver"),
+	}
+}
+
+// NewDefault builds a production-like Tai Chi node in one call.
+func NewDefault(seed int64) *TaiChi {
+	opts := platform.DefaultOptions()
+	opts.Seed = seed
+	return New(platform.NewNode(opts), DefaultConfig())
+}
+
+// CPAffinity returns the logical CPUs CP tasks are bound to: the vCPU
+// pool plus the dedicated CP pCPUs — exactly the production deployment
+// of §5 ("binding them to vCPUs and CP-dedicated physical CPUs through
+// standard CPU affinity configuration").
+func (t *TaiChi) CPAffinity() []kernel.CPUID {
+	var ids []kernel.CPUID
+	for _, c := range t.Node.Opts.Topology.CPCores {
+		ids = append(ids, kernel.CPUID(c))
+	}
+	return append(ids, t.Sched.VCPUIDs()...)
+}
+
+// SpawnCP deploys an unmodified CP task under Tai Chi: a plain kernel
+// thread whose affinity mask covers the vCPUs and CP pCPUs. No code
+// changes — the transparency claim of §4.2.
+func (t *TaiChi) SpawnCP(name string, prog kernel.Program) *kernel.Thread {
+	return t.Node.Kernel.Spawn(name, prog, t.CPAffinity()...)
+}
+
+// Stream returns a deterministic RNG stream for a named workload.
+func (t *TaiChi) Stream(name string) *rand.Rand { return t.Node.RNG.Stream(name) }
+
+// Run advances simulated time.
+func (t *TaiChi) Run(until sim.Time) { t.Node.Run(until) }
+
+// Engine exposes the node's event engine (cluster.Host).
+func (t *TaiChi) Engine() *sim.Engine { return t.Node.Engine }
+
+// Lock returns the shared device-driver lock (cluster.Host).
+func (t *TaiChi) Lock() *kernel.SpinLock { return t.DriverLock }
+
+// Coordinator returns the native CP→DP configuration path (cluster.Host).
+func (t *TaiChi) Coordinator() controlplane.DPCoordinator {
+	if t.coord == nil {
+		t.coord = NewNetCoordinator(t.Node)
+	}
+	return t.coord
+}
+
+// NativeCoordinator implements controlplane.DPCoordinator over Tai Chi's
+// native IPC path: the device-configuration op rides the normal
+// accelerator→DP pipeline and the completion signals the CP thread
+// directly (shared memory + IPI semantics, zero framework overhead).
+type NativeCoordinator struct {
+	Node    *platform.Node
+	Service *dataplane.Service
+	// OpWork is the DP-side cost of applying one queue configuration.
+	OpWork sim.Duration
+}
+
+// NewNetCoordinator returns a coordinator targeting the network service.
+func NewNetCoordinator(node *platform.Node) *NativeCoordinator {
+	return &NativeCoordinator{Node: node, Service: node.Net, OpWork: 5 * sim.Microsecond}
+}
+
+// NewStorCoordinator returns a coordinator targeting the storage service.
+func NewStorCoordinator(node *platform.Node) *NativeCoordinator {
+	return &NativeCoordinator{Node: node, Service: node.Stor, OpWork: 5 * sim.Microsecond}
+}
+
+// ConfigureDevice implements controlplane.DPCoordinator.
+func (c *NativeCoordinator) ConfigureDevice(flow int, done func()) {
+	core := c.Service.CoreForFlow(flow)
+	c.Node.Pipe.Inject(&accel.Packet{
+		Core: core.ID,
+		Work: c.OpWork,
+		Done: func(*accel.Packet, sim.Time) { done() },
+	})
+}
+
+// RPCCoordinator wraps a coordinator with the marshalling/transport
+// penalty of replacing native IPC with RPC — the type-2 virtualization
+// cost of §3.4 (guest CP must cross virtio/vsock to reach the DP).
+type RPCCoordinator struct {
+	Inner   controlplane.DPCoordinator
+	Engine  *sim.Engine
+	PerHop  sim.Duration // one-way transport+marshalling cost
+	RTTHops int          // hops per round trip (request + reply = 2)
+}
+
+// ConfigureDevice implements controlplane.DPCoordinator with RPC delays
+// on both the request and the reply.
+func (c *RPCCoordinator) ConfigureDevice(flow int, done func()) {
+	hops := c.RTTHops
+	if hops <= 0 {
+		hops = 2
+	}
+	c.Engine.Schedule(c.PerHop, func() {
+		c.Inner.ConfigureDevice(flow, func() {
+			c.Engine.Schedule(sim.Duration(hops-1)*c.PerHop, done)
+		})
+	})
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNativeCoordinatorsRouteToTheirServices(t *testing.T) {
+	tc := newTaiChi(40, nil)
+	net := NewNetCoordinator(tc.Node)
+	stor := NewStorCoordinator(tc.Node)
+	netDone, storDone := false, false
+	net.ConfigureDevice(0, func() { netDone = true })
+	stor.ConfigureDevice(0, func() { storDone = true })
+	tc.Run(sim.Time(sim.Millisecond))
+	if !netDone || !storDone {
+		t.Fatalf("net=%v stor=%v", netDone, storDone)
+	}
+	if tc.Node.Net.TotalProcessed() != 1 || tc.Node.Stor.TotalProcessed() != 1 {
+		t.Fatal("ops landed on the wrong service")
+	}
+}
+
+func TestRPCCoordinatorDefaultHops(t *testing.T) {
+	tc := newTaiChi(41, nil)
+	rpc := &RPCCoordinator{
+		Inner:  NewNetCoordinator(tc.Node),
+		Engine: tc.Node.Engine,
+		PerHop: 25 * sim.Microsecond,
+		// RTTHops deliberately zero: must default to 2.
+	}
+	start := tc.Node.Now()
+	var doneAt sim.Time
+	rpc.ConfigureDevice(0, func() { doneAt = tc.Node.Now() })
+	tc.Run(sim.Time(10 * sim.Millisecond))
+	rtt := doneAt.Sub(start)
+	if rtt < 50*sim.Microsecond {
+		t.Fatalf("RPC RTT %v below the two-hop floor", rtt)
+	}
+}
+
+func TestCPAffinityCoversCPAndVCPUs(t *testing.T) {
+	tc := newTaiChi(42, nil)
+	ids := tc.CPAffinity()
+	if len(ids) != 4+tc.Cfg.VCPUs {
+		t.Fatalf("affinity covers %d CPUs, want %d", len(ids), 4+tc.Cfg.VCPUs)
+	}
+}
+
+func TestNewDefaultIsRunnable(t *testing.T) {
+	tc := NewDefault(43)
+	tc.Run(sim.Time(10 * sim.Millisecond))
+	if tc.Node.Now() != sim.Time(10*sim.Millisecond) {
+		t.Fatal("clock did not advance")
+	}
+	if tc.DriverLock == nil || tc.Sched == nil {
+		t.Fatal("incomplete assembly")
+	}
+}

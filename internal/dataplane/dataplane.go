@@ -1,0 +1,345 @@
+// Package dataplane models the poll-mode data-plane services (the DPDK
+// and SPDK analogues) that own the SmartNIC's DP cores: busy-poll receive
+// loops, burst processing with a calibrated per-packet cost, the
+// consecutive-empty-poll idle detection of Figure 9, the NotifyIdle hook
+// Tai Chi's software workload probe consumes, and the cache/TLB pollution
+// penalty paid after a vCPU borrows a DP core (§6.5).
+package dataplane
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CoreState is the DP core's poll-loop state.
+type CoreState uint8
+
+// Core states.
+const (
+	// Polling: busy-polling an empty queue.
+	Polling CoreState = iota
+	// Processing: crunching a burst of packets.
+	Processing
+	// Yielded: the core is lent to a vCPU; the poll loop is paused.
+	Yielded
+)
+
+// String names the state.
+func (s CoreState) String() string {
+	switch s {
+	case Polling:
+		return "polling"
+	case Processing:
+		return "processing"
+	case Yielded:
+		return "yielded"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Config is the DP service cost model.
+type Config struct {
+	// EmptyPollCost is one empty rx_burst iteration (Figure 9 line 5).
+	EmptyPollCost sim.Duration
+	// Burst is the maximum packets consumed per poll.
+	Burst int
+	// TaxFactor multiplies all processing work; 1.0 for native execution,
+	// >1 models the nested-page-table/VM-exit tax of running the DP in a
+	// vCPU context (the Tai Chi-vDP / type-1 baseline, §6.3).
+	TaxFactor float64
+	// PollutionWork is how much upcoming work runs slowed after a vCPU
+	// vacates the core (cold caches and TLBs, §6.5).
+	PollutionWork sim.Duration
+	// PollutionFactor is the slowdown applied to polluted work.
+	PollutionFactor float64
+}
+
+// DefaultConfig returns the network-DP cost model.
+func DefaultConfig() Config {
+	return Config{
+		EmptyPollCost:   100 * sim.Nanosecond,
+		Burst:           32,
+		TaxFactor:       1.0,
+		PollutionWork:   40 * sim.Microsecond,
+		PollutionFactor: 1.35,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.EmptyPollCost == 0 {
+		c.EmptyPollCost = d.EmptyPollCost
+	}
+	if c.Burst == 0 {
+		c.Burst = d.Burst
+	}
+	if c.TaxFactor == 0 {
+		c.TaxFactor = d.TaxFactor
+	}
+	if c.PollutionFactor == 0 {
+		c.PollutionFactor = d.PollutionFactor
+	}
+}
+
+// Core is one data-plane core's poll loop.
+type Core struct {
+	ID      int
+	service *Service
+	engine  *sim.Engine
+	tracer  *trace.Tracer
+	cfg     *Config
+
+	state        CoreState
+	queue        []*accel.Packet
+	idleEv       *sim.Event
+	pollutedWork sim.Duration
+	// conns is the optional per-core connection table (EnableConnTrack).
+	conns *connTable
+
+	// YieldThreshold returns the consecutive-empty-poll count N that
+	// confirms idleness (Figure 9 line 13). Tai Chi's software workload
+	// probe supplies an adaptive value; nil disables yielding entirely
+	// (the static baseline).
+	YieldThreshold func() int
+
+	// OnIdle fires when the empty-poll count crosses the threshold — the
+	// notify_idle_DP_CPU_cycles() call of Figure 9 line 14.
+	OnIdle func(c *Core)
+
+	// Gauge tracks useful-work busy time (the paper's "DP CPU
+	// utilization": busy-polling an empty queue counts as idle cycles).
+	Gauge *metrics.BusyGauge
+
+	// Stats.
+	Processed   uint64
+	WorkTime    sim.Duration
+	Yields      uint64
+	Resumes     uint64
+	MaxQueueLen int
+}
+
+// State returns the core's poll-loop state.
+func (c *Core) State() CoreState { return c.state }
+
+// QueueLen returns the number of packets waiting.
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// Deliver lands a preprocessed packet in the core's receive queue (the
+// accelerator pipeline's sink). A polling core starts a burst immediately;
+// a yielded core leaves the packet for the probe/slice machinery to
+// trigger resumption.
+func (c *Core) Deliver(p *accel.Packet) {
+	c.queue = append(c.queue, p)
+	if len(c.queue) > c.MaxQueueLen {
+		c.MaxQueueLen = len(c.queue)
+	}
+	if c.state == Polling {
+		c.cancelIdle()
+		c.processNext()
+	}
+}
+
+// processNext consumes the next burst, or returns to polling.
+func (c *Core) processNext() {
+	if len(c.queue) == 0 {
+		c.state = Polling
+		c.Gauge.SetBusy(c.engine.Now(), false)
+		c.armIdle()
+		return
+	}
+	c.state = Processing
+	n := c.cfg.Burst
+	if n > len(c.queue) {
+		n = len(c.queue)
+	}
+	batch := c.queue[:n]
+	c.queue = c.queue[n:]
+	var cost sim.Duration
+	for _, p := range batch {
+		w := p.Work
+		if c.conns != nil {
+			w += c.conns.cost(p.Flow, p.SYN, p.FIN)
+		}
+		w = sim.Duration(float64(w) * c.cfg.TaxFactor)
+		// Cold-cache penalty: the first PollutionWork of work after a
+		// vCPU vacates the core runs PollutionFactor slower.
+		if c.pollutedWork > 0 {
+			slowed := w
+			if slowed > c.pollutedWork {
+				slowed = c.pollutedWork
+			}
+			cost += sim.Duration(float64(slowed) * c.cfg.PollutionFactor)
+			cost += w - slowed
+			c.pollutedWork -= slowed
+		} else {
+			cost += w
+		}
+	}
+	c.Gauge.SetBusy(c.engine.Now(), true)
+	c.engine.Schedule(cost, func() {
+		now := c.engine.Now()
+		c.WorkTime += cost
+		for _, p := range batch {
+			c.Processed++
+			c.tracer.Emit(now, trace.KindPacketProcessed, c.ID, p.ID, "")
+			if p.Done != nil {
+				p.Done(p, now)
+			}
+		}
+		c.processNext()
+	})
+}
+
+// armIdle starts the consecutive-empty-poll countdown; when it expires
+// the core reports idle CPU cycles upward.
+func (c *Core) armIdle() {
+	if c.OnIdle == nil || c.YieldThreshold == nil || c.idleEv != nil {
+		return
+	}
+	n := c.YieldThreshold()
+	if n <= 0 {
+		n = 1
+	}
+	c.idleEv = c.engine.Schedule(sim.Duration(n)*c.cfg.EmptyPollCost, func() {
+		c.idleEv = nil
+		if c.state == Polling && len(c.queue) == 0 {
+			c.tracer.Emit(c.engine.Now(), trace.KindYield, c.ID, 0, "idle-detected")
+			c.OnIdle(c)
+		}
+	})
+}
+
+func (c *Core) cancelIdle() {
+	if c.idleEv != nil {
+		c.idleEv.Cancel()
+		c.idleEv = nil
+	}
+}
+
+// Yield lends the core to the vCPU scheduler. Only valid when polling.
+func (c *Core) Yield() {
+	if c.state != Polling {
+		panic(fmt.Sprintf("dataplane: yielding core %d in state %v", c.ID, c.state))
+	}
+	c.cancelIdle()
+	c.state = Yielded
+	c.Yields++
+}
+
+// Resume returns the core to the DP service after a vCPU vacated it,
+// applying the cold-cache pollution window. Queued packets are processed
+// immediately.
+func (c *Core) Resume() {
+	if c.state != Yielded {
+		panic(fmt.Sprintf("dataplane: resuming core %d in state %v", c.ID, c.state))
+	}
+	c.state = Polling
+	c.Resumes++
+	c.pollutedWork = c.cfg.PollutionWork
+	c.tracer.Emit(c.engine.Now(), trace.KindPreempt, c.ID, 0, "dp-resume")
+	if len(c.queue) > 0 {
+		c.processNext()
+	} else {
+		c.armIdle()
+	}
+}
+
+// Utilization returns the useful-work busy fraction since the last
+// window reset.
+func (c *Core) Utilization() float64 { return c.Gauge.Utilization(c.engine.Now()) }
+
+// Service is one data-plane service (networking or storage) owning a set
+// of DP cores.
+type Service struct {
+	Name   string
+	engine *sim.Engine
+	cfg    Config
+	cores  []*Core
+	byID   map[int]*Core
+}
+
+// NewService builds a DP service over the given physical core ids.
+func NewService(engine *sim.Engine, name string, coreIDs []int, cfg Config, tracer *trace.Tracer) *Service {
+	cfg.applyDefaults()
+	if len(coreIDs) == 0 {
+		panic("dataplane: service needs at least one core")
+	}
+	s := &Service{Name: name, engine: engine, cfg: cfg, byID: map[int]*Core{}}
+	for _, id := range coreIDs {
+		c := &Core{
+			ID:      id,
+			service: s,
+			engine:  engine,
+			tracer:  tracer,
+			cfg:     &s.cfg,
+			state:   Polling,
+			Gauge:   metrics.NewBusyGauge(fmt.Sprintf("%s.core%d", name, id), engine.Now()),
+		}
+		s.cores = append(s.cores, c)
+		s.byID[id] = c
+	}
+	return s
+}
+
+// Cores returns the service's cores.
+func (s *Service) Cores() []*Core { return s.cores }
+
+// Core returns the core with the given physical id, or nil.
+func (s *Service) Core(id int) *Core { return s.byID[id] }
+
+// CoreForFlow maps a flow hash to a core (receive-side scaling).
+func (s *Service) CoreForFlow(flow int) *Core {
+	if flow < 0 {
+		flow = -flow
+	}
+	return s.cores[flow%len(s.cores)]
+}
+
+// Deliver routes a packet to its destination core. Packets addressed to
+// cores outside this service panic — a mis-wired experiment, not a
+// runtime condition.
+func (s *Service) Deliver(core int, p *accel.Packet) {
+	c := s.byID[core]
+	if c == nil {
+		panic(fmt.Sprintf("dataplane: %s has no core %d", s.Name, core))
+	}
+	c.Deliver(p)
+}
+
+// Start arms idle detection on every core (no-op when yielding is
+// disabled).
+func (s *Service) Start() {
+	for _, c := range s.cores {
+		c.armIdle()
+	}
+}
+
+// TotalProcessed sums processed packets across cores.
+func (s *Service) TotalProcessed() uint64 {
+	var n uint64
+	for _, c := range s.cores {
+		n += c.Processed
+	}
+	return n
+}
+
+// MeanUtilization averages useful-work utilization across cores.
+func (s *Service) MeanUtilization() float64 {
+	var sum float64
+	for _, c := range s.cores {
+		sum += c.Utilization()
+	}
+	return sum / float64(len(s.cores))
+}
+
+// ResetWindows restarts utilization windows on all cores.
+func (s *Service) ResetWindows() {
+	now := s.engine.Now()
+	for _, c := range s.cores {
+		c.Gauge.ResetWindow(now)
+	}
+}

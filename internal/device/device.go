@@ -1,0 +1,194 @@
+// Package device models the SmartNIC's emulated-device inventory: the
+// eNICs and virtual block devices the programmable accelerator exposes to
+// host VMs over PCIe passthrough (§2.3, Figure 1c). Control-plane
+// device-management tasks provision, activate, and destroy these records;
+// monitoring tasks walk the inventory; and the number of active devices
+// is exactly the quantity that grows with instance density and overloads
+// the control plane in Figure 2.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Kind distinguishes emulated device classes.
+type Kind uint8
+
+// Device kinds (Table 4's VM shape uses one ENIC and four VBlk).
+const (
+	// ENIC is an emulated network interface (virtio-net analogue).
+	ENIC Kind = iota
+	// VBlk is an emulated block device (virtio-blk analogue).
+	VBlk
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == ENIC {
+		return "enic"
+	}
+	return "vblk"
+}
+
+// State is the device lifecycle state.
+type State uint8
+
+// Device states.
+const (
+	// Provisioning: CP device management is initializing resources.
+	Provisioning State = iota
+	// Active: passed through to the VM; DP queues configured.
+	Active
+	// Destroying: deinitialization in progress.
+	Destroying
+	// Gone: fully released.
+	Gone
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Provisioning:
+		return "provisioning"
+	case Active:
+		return "active"
+	case Destroying:
+		return "destroying"
+	case Gone:
+		return "gone"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// QueueBinding maps one device queue to a DP flow (and hence a DP core).
+type QueueBinding struct {
+	Flow int
+	Core int
+}
+
+// Device is one emulated device record.
+type Device struct {
+	ID     int
+	VM     int
+	Kind   Kind
+	Queues []QueueBinding
+	state  State
+
+	CreatedAt   sim.Time
+	ActivatedAt sim.Time
+	DestroyedAt sim.Time
+}
+
+// State returns the lifecycle state.
+func (d *Device) State() State { return d.state }
+
+// Registry is the node-wide device inventory.
+type Registry struct {
+	now     func() sim.Time
+	devices map[int]*Device
+	byVM    map[int][]*Device
+	nextID  int
+
+	// ProvisionLatency measures provision→active times — the per-device
+	// component of VM startup.
+	ProvisionLatency *metrics.Histogram
+	// Provisioned / Destroyed count lifecycle transitions.
+	Provisioned uint64
+	Destroyed   uint64
+}
+
+// NewRegistry builds an empty inventory; now supplies the simulated clock.
+func NewRegistry(now func() sim.Time) *Registry {
+	return &Registry{
+		now:              now,
+		devices:          map[int]*Device{},
+		byVM:             map[int][]*Device{},
+		ProvisionLatency: metrics.NewHistogram("device.provision_latency"),
+	}
+}
+
+// Provision creates a device record in Provisioning state. The CP
+// device-management job drives it to Active.
+func (r *Registry) Provision(vm int, kind Kind, queues []QueueBinding) *Device {
+	r.nextID++
+	d := &Device{
+		ID:        r.nextID,
+		VM:        vm,
+		Kind:      kind,
+		Queues:    queues,
+		state:     Provisioning,
+		CreatedAt: r.now(),
+	}
+	r.devices[d.ID] = d
+	r.byVM[vm] = append(r.byVM[vm], d)
+	r.Provisioned++
+	return d
+}
+
+// Activate marks the device ready for passthrough (step 4 of Figure 1c).
+func (r *Registry) Activate(d *Device) {
+	if d.state != Provisioning {
+		panic(fmt.Sprintf("device: activating %s dev%d in state %v", d.Kind, d.ID, d.state))
+	}
+	d.state = Active
+	d.ActivatedAt = r.now()
+	r.ProvisionLatency.Record(d.ActivatedAt.Sub(d.CreatedAt))
+}
+
+// BeginDestroy starts deinitialization.
+func (r *Registry) BeginDestroy(d *Device) {
+	if d.state != Active {
+		panic(fmt.Sprintf("device: destroying dev%d in state %v", d.ID, d.state))
+	}
+	d.state = Destroying
+}
+
+// FinishDestroy releases the record.
+func (r *Registry) FinishDestroy(d *Device) {
+	if d.state != Destroying {
+		panic(fmt.Sprintf("device: finishing dev%d in state %v", d.ID, d.state))
+	}
+	d.state = Gone
+	d.DestroyedAt = r.now()
+	delete(r.devices, d.ID)
+	vmDevs := r.byVM[d.VM]
+	for i, dd := range vmDevs {
+		if dd == d {
+			r.byVM[d.VM] = append(vmDevs[:i], vmDevs[i+1:]...)
+			break
+		}
+	}
+	if len(r.byVM[d.VM]) == 0 {
+		delete(r.byVM, d.VM)
+	}
+	r.Destroyed++
+}
+
+// ByVM returns the live devices of a VM.
+func (r *Registry) ByVM(vm int) []*Device { return r.byVM[vm] }
+
+// Active counts devices in Active state.
+func (r *Registry) Active() int {
+	n := 0
+	for _, d := range r.devices {
+		if d.state == Active {
+			n++
+		}
+	}
+	return n
+}
+
+// Live counts all non-Gone devices.
+func (r *Registry) Live() int { return len(r.devices) }
+
+// CountByKind tallies live devices per kind.
+func (r *Registry) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, d := range r.devices {
+		out[d.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newReg() (*Registry, *sim.Time) {
+	now := sim.Time(0)
+	return NewRegistry(func() sim.Time { return now }), &now
+}
+
+func TestLifecycle(t *testing.T) {
+	r, now := newReg()
+	d := r.Provision(1, ENIC, []QueueBinding{{Flow: 0, Core: 0}, {Flow: 1, Core: 1}})
+	if d.State() != Provisioning || r.Live() != 1 || r.Active() != 0 {
+		t.Fatal("provision state wrong")
+	}
+	*now = sim.Time(5 * sim.Millisecond)
+	r.Activate(d)
+	if d.State() != Active || r.Active() != 1 {
+		t.Fatal("activate state wrong")
+	}
+	if got := r.ProvisionLatency.Mean(); got < 4*sim.Millisecond || got > 6*sim.Millisecond {
+		t.Fatalf("provision latency %v, want ~5ms", got)
+	}
+	r.BeginDestroy(d)
+	if d.State() != Destroying {
+		t.Fatal("destroy state")
+	}
+	r.FinishDestroy(d)
+	if d.State() != Gone || r.Live() != 0 || r.Destroyed != 1 {
+		t.Fatal("finish destroy")
+	}
+	if len(r.ByVM(1)) != 0 {
+		t.Fatal("VM index not cleaned")
+	}
+}
+
+func TestByVMAndCounts(t *testing.T) {
+	r, _ := newReg()
+	nic := r.Provision(7, ENIC, nil)
+	blk1 := r.Provision(7, VBlk, nil)
+	blk2 := r.Provision(8, VBlk, nil)
+	r.Activate(nic)
+	r.Activate(blk1)
+	r.Activate(blk2)
+	if len(r.ByVM(7)) != 2 || len(r.ByVM(8)) != 1 {
+		t.Fatal("ByVM index")
+	}
+	counts := r.CountByKind()
+	if counts[ENIC] != 1 || counts[VBlk] != 2 {
+		t.Fatalf("counts %v", counts)
+	}
+	if r.Provisioned != 3 {
+		t.Fatal("Provisioned counter")
+	}
+}
+
+func TestInvalidTransitionsPanic(t *testing.T) {
+	r, _ := newReg()
+	d := r.Provision(1, VBlk, nil)
+	for _, fn := range []func(){
+		func() { r.BeginDestroy(d) },            // not active yet
+		func() { r.FinishDestroy(d) },           // not destroying
+		func() { r.Activate(d); r.Activate(d) }, // double activate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid transition did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindAndStateStrings(t *testing.T) {
+	if ENIC.String() != "enic" || VBlk.String() != "vblk" {
+		t.Fatal("kind strings")
+	}
+	if Provisioning.String() != "provisioning" || Gone.String() != "gone" {
+		t.Fatal("state strings")
+	}
+}

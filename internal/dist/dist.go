@@ -1,0 +1,302 @@
+// Package dist provides the probability distributions used by workload
+// generators and task models: exponential, lognormal, bounded Pareto,
+// empirical piecewise distributions (used to fit the paper's Figure 5
+// non-preemptible-routine census), and a two-state Markov-modulated burst
+// process (used to reproduce the Figure 3 fleet utilization CDF).
+//
+// All samplers draw from an explicit *rand.Rand so that callers control
+// determinism via named sim.RNG streams.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Sampler produces simulated durations.
+type Sampler interface {
+	// Sample draws one duration. Implementations must never return a
+	// negative duration.
+	Sample(r *rand.Rand) sim.Duration
+	// Mean returns the analytic mean of the distribution where known,
+	// used by harnesses to derive offered-load targets.
+	Mean() sim.Duration
+}
+
+// Constant always returns the same value.
+type Constant sim.Duration
+
+// Sample implements Sampler.
+func (c Constant) Sample(*rand.Rand) sim.Duration { return sim.Duration(c) }
+
+// Mean implements Sampler.
+func (c Constant) Mean() sim.Duration { return sim.Duration(c) }
+
+// Exponential is the memoryless distribution with the given mean,
+// the default model for Poisson packet interarrivals.
+type Exponential struct {
+	MeanValue sim.Duration
+}
+
+// NewExponential returns an exponential sampler with the given mean.
+func NewExponential(mean sim.Duration) Exponential { return Exponential{MeanValue: mean} }
+
+// Sample implements Sampler.
+func (e Exponential) Sample(r *rand.Rand) sim.Duration {
+	return sim.Exponential(r, e.MeanValue)
+}
+
+// Mean implements Sampler.
+func (e Exponential) Mean() sim.Duration { return e.MeanValue }
+
+// Uniform draws uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi sim.Duration
+}
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *rand.Rand) sim.Duration { return sim.Uniform(r, u.Lo, u.Hi) }
+
+// Mean implements Sampler.
+func (u Uniform) Mean() sim.Duration { return (u.Lo + u.Hi) / 2 }
+
+// Lognormal models right-skewed service times (e.g. CP user-space compute
+// phases). Mu and Sigma parameterize the underlying normal in log-ns space.
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+// NewLognormalFromMeanP99 fits a lognormal with the given mean and p99,
+// a convenient surface for calibrating to published quantiles. It panics
+// if p99 <= mean (no lognormal exists).
+func NewLognormalFromMeanP99(mean, p99 sim.Duration) Lognormal {
+	if p99 <= mean || mean <= 0 {
+		panic(fmt.Sprintf("dist: invalid lognormal fit mean=%v p99=%v", mean, p99))
+	}
+	// mean = exp(mu + sigma^2/2); p99 = exp(mu + 2.326*sigma)
+	// Solve sigma from: ln(p99) - ln(mean) = 2.326*sigma - sigma^2/2
+	diff := math.Log(float64(p99)) - math.Log(float64(mean))
+	const z = 2.326347
+	// sigma^2/2 - z*sigma + diff = 0  =>  sigma = z - sqrt(z^2 - 2*diff)
+	disc := z*z - 2*diff
+	if disc < 0 {
+		disc = 0
+	}
+	sigma := z - math.Sqrt(disc)
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	mu := math.Log(float64(mean)) - sigma*sigma/2
+	return Lognormal{Mu: mu, Sigma: sigma}
+}
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(r *rand.Rand) sim.Duration {
+	v := math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+	if v < 1 {
+		v = 1
+	}
+	if v > math.MaxInt64/2 {
+		v = math.MaxInt64 / 2
+	}
+	return sim.Duration(v)
+}
+
+// Mean implements Sampler.
+func (l Lognormal) Mean() sim.Duration {
+	return sim.Duration(math.Exp(l.Mu + l.Sigma*l.Sigma/2))
+}
+
+// BoundedPareto is a heavy-tailed distribution truncated to [Lo, Hi],
+// used for the long tail of non-preemptible routine durations (Figure 5:
+// 94.5% in 1-5 ms, max 67 ms).
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi sim.Duration
+}
+
+// Sample implements Sampler.
+func (p BoundedPareto) Sample(r *rand.Rand) sim.Duration {
+	l, h := float64(p.Lo), float64(p.Hi)
+	if l <= 0 || h <= l {
+		return p.Lo
+	}
+	u := r.Float64()
+	// Inverse CDF of the bounded Pareto.
+	la, ha := math.Pow(l, p.Alpha), math.Pow(h, p.Alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return sim.Duration(x)
+}
+
+// Mean implements Sampler.
+func (p BoundedPareto) Mean() sim.Duration {
+	l, h := float64(p.Lo), float64(p.Hi)
+	a := p.Alpha
+	if a == 1 {
+		return sim.Duration((l * h / (h - l)) * math.Log(h/l))
+	}
+	la := math.Pow(l, a)
+	m := la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+	return sim.Duration(m)
+}
+
+// Empirical is a piecewise (bucketed) distribution defined by weighted
+// ranges. It is the workhorse for calibrating generators to published
+// histograms such as Figure 5.
+type Empirical struct {
+	buckets []empiricalBucket
+	cum     []float64
+	total   float64
+	mean    sim.Duration
+}
+
+type empiricalBucket struct {
+	lo, hi sim.Duration
+	weight float64
+}
+
+// Bucket is one weighted range of an Empirical distribution.
+type Bucket struct {
+	Lo, Hi sim.Duration
+	Weight float64
+}
+
+// NewEmpirical builds a piecewise-uniform distribution from weighted
+// buckets. Weights need not sum to 1. It panics on empty or invalid input.
+func NewEmpirical(buckets []Bucket) *Empirical {
+	if len(buckets) == 0 {
+		panic("dist: empirical distribution needs at least one bucket")
+	}
+	e := &Empirical{}
+	var meanAcc float64
+	for _, b := range buckets {
+		if b.Hi < b.Lo || b.Weight < 0 {
+			panic(fmt.Sprintf("dist: invalid bucket %+v", b))
+		}
+		if b.Weight == 0 {
+			continue
+		}
+		e.buckets = append(e.buckets, empiricalBucket{b.Lo, b.Hi, b.Weight})
+		e.total += b.Weight
+		e.cum = append(e.cum, e.total)
+		meanAcc += b.Weight * float64(b.Lo+b.Hi) / 2
+	}
+	if e.total == 0 {
+		panic("dist: empirical distribution has zero total weight")
+	}
+	e.mean = sim.Duration(meanAcc / e.total)
+	return e
+}
+
+// Sample implements Sampler: pick a bucket by weight, then uniform within.
+func (e *Empirical) Sample(r *rand.Rand) sim.Duration {
+	u := r.Float64() * e.total
+	i := sort.SearchFloat64s(e.cum, u)
+	if i >= len(e.buckets) {
+		i = len(e.buckets) - 1
+	}
+	b := e.buckets[i]
+	return sim.Uniform(r, b.lo, b.hi)
+}
+
+// Mean implements Sampler.
+func (e *Empirical) Mean() sim.Duration { return e.mean }
+
+// MMPP2 is a two-state Markov-modulated Poisson process: a "calm" state
+// with low arrival rate and a "burst" state with high rate, with
+// exponential state holding times. It reproduces the bursty, mostly-idle
+// data-plane traffic that yields the paper's Figure 3 utilization CDF
+// (99.68% of per-second utilization samples below 32.5%).
+type MMPP2 struct {
+	CalmInterarrival  sim.Duration // mean interarrival while calm
+	BurstInterarrival sim.Duration // mean interarrival while bursting
+	CalmHold          sim.Duration // mean dwell time in calm state
+	BurstHold         sim.Duration // mean dwell time in burst state
+
+	inBurst   bool
+	stateEnds sim.Time
+}
+
+// Next returns the next interarrival gap, advancing the modulating chain.
+// now is the current simulated time of the caller.
+func (m *MMPP2) Next(r *rand.Rand, now sim.Time) sim.Duration {
+	for now >= m.stateEnds {
+		m.inBurst = !m.inBurst
+		hold := m.CalmHold
+		if m.inBurst {
+			hold = m.BurstHold
+		}
+		m.stateEnds = m.stateEnds.Add(sim.Exponential(r, hold))
+	}
+	if m.inBurst {
+		return sim.Exponential(r, m.BurstInterarrival)
+	}
+	return sim.Exponential(r, m.CalmInterarrival)
+}
+
+// InBurst reports whether the modulating chain is currently bursting.
+func (m *MMPP2) InBurst() bool { return m.inBurst }
+
+// Mixture samples from one of several component samplers chosen by weight,
+// e.g. "95% short syscalls, 5% long driver spinlocks".
+type Mixture struct {
+	components []Sampler
+	cum        []float64
+	total      float64
+}
+
+// Component is one weighted member of a Mixture.
+type Component struct {
+	Weight  float64
+	Sampler Sampler
+}
+
+// NewMixture builds a weighted mixture. It panics on empty input or
+// non-positive total weight.
+func NewMixture(comps []Component) *Mixture {
+	m := &Mixture{}
+	for _, c := range comps {
+		if c.Weight <= 0 {
+			continue
+		}
+		m.components = append(m.components, c.Sampler)
+		m.total += c.Weight
+		m.cum = append(m.cum, m.total)
+	}
+	if m.total == 0 {
+		panic("dist: mixture has zero total weight")
+	}
+	return m
+}
+
+// Sample implements Sampler.
+func (m *Mixture) Sample(r *rand.Rand) sim.Duration {
+	u := r.Float64() * m.total
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.components) {
+		i = len(m.components) - 1
+	}
+	return m.components[i].Sample(r)
+}
+
+// Mean implements Sampler.
+func (m *Mixture) Mean() sim.Duration {
+	var acc float64
+	prev := 0.0
+	for i, c := range m.components {
+		w := m.cum[i] - prev
+		prev = m.cum[i]
+		acc += w * float64(c.Mean())
+	}
+	return sim.Duration(acc / m.total)
+}

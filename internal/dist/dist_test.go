@@ -1,0 +1,258 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func sampleMean(s Sampler, n int, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Sample(r))
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(42)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if c.Sample(r) != 42 {
+			t.Fatal("Constant is not constant")
+		}
+	}
+	if c.Mean() != 42 {
+		t.Fatal("Constant mean")
+	}
+}
+
+func TestExponentialMeanMatches(t *testing.T) {
+	e := NewExponential(50 * sim.Microsecond)
+	got := sampleMean(e, 100000, 2)
+	want := float64(50 * sim.Microsecond)
+	if got < 0.97*want || got > 1.03*want {
+		t.Fatalf("empirical mean %.0f, want ~%.0f", got, want)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 30}
+	if u.Mean() != 20 {
+		t.Fatalf("Mean = %d, want 20", u.Mean())
+	}
+	got := sampleMean(u, 50000, 3)
+	if got < 19 || got > 21 {
+		t.Fatalf("empirical mean %.2f, want ~20", got)
+	}
+}
+
+func TestLognormalFitMeanP99(t *testing.T) {
+	mean := 2 * sim.Millisecond
+	p99 := 20 * sim.Millisecond
+	l := NewLognormalFromMeanP99(mean, p99)
+
+	r := rand.New(rand.NewSource(4))
+	const n = 200000
+	samples := make([]float64, n)
+	var sum float64
+	for i := range samples {
+		samples[i] = float64(l.Sample(r))
+		sum += samples[i]
+	}
+	gotMean := sum / n
+	if gotMean < 0.9*float64(mean) || gotMean > 1.1*float64(mean) {
+		t.Fatalf("fitted mean %.0f, want ~%d", gotMean, mean)
+	}
+	// Check p99 within a factor-ish tolerance (fit is approximate).
+	exceed := 0
+	for _, s := range samples {
+		if s > float64(p99) {
+			exceed++
+		}
+	}
+	frac := float64(exceed) / n
+	if frac < 0.003 || frac > 0.03 {
+		t.Fatalf("fraction above fitted p99 = %.4f, want ~0.01", frac)
+	}
+}
+
+func TestLognormalFitPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p99 <= mean")
+		}
+	}()
+	NewLognormalFromMeanP99(10, 5)
+}
+
+func TestBoundedParetoWithinBounds(t *testing.T) {
+	p := BoundedPareto{Alpha: 1.5, Lo: sim.Millisecond, Hi: 67 * sim.Millisecond}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		v := p.Sample(r)
+		if v < p.Lo || v > p.Hi {
+			t.Fatalf("sample %v out of [%v,%v]", v, p.Lo, p.Hi)
+		}
+	}
+}
+
+func TestBoundedParetoSkew(t *testing.T) {
+	p := BoundedPareto{Alpha: 1.8, Lo: sim.Millisecond, Hi: 67 * sim.Millisecond}
+	r := rand.New(rand.NewSource(6))
+	below5 := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if p.Sample(r) < 5*sim.Millisecond {
+			below5++
+		}
+	}
+	frac := float64(below5) / n
+	// Heavy skew toward the low end, like Figure 5's 94.5% in 1-5 ms.
+	if frac < 0.85 {
+		t.Fatalf("only %.2f%% of Pareto samples below 5ms; want >85%%", 100*frac)
+	}
+}
+
+func TestEmpiricalRespectsBuckets(t *testing.T) {
+	e := NewEmpirical([]Bucket{
+		{Lo: sim.Millisecond, Hi: 5 * sim.Millisecond, Weight: 94.5},
+		{Lo: 5 * sim.Millisecond, Hi: 10 * sim.Millisecond, Weight: 4},
+		{Lo: 10 * sim.Millisecond, Hi: 67 * sim.Millisecond, Weight: 1.5},
+	})
+	r := rand.New(rand.NewSource(7))
+	counts := [3]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := e.Sample(r)
+		switch {
+		case v <= 5*sim.Millisecond:
+			counts[0]++
+		case v <= 10*sim.Millisecond:
+			counts[1]++
+		default:
+			counts[2]++
+		}
+		if v < sim.Millisecond || v > 67*sim.Millisecond {
+			t.Fatalf("sample %v outside overall support", v)
+		}
+	}
+	frac0 := float64(counts[0]) / n
+	if frac0 < 0.93 || frac0 > 0.96 {
+		t.Fatalf("bucket0 fraction %.4f, want ~0.945", frac0)
+	}
+}
+
+func TestEmpiricalPanics(t *testing.T) {
+	for _, bad := range [][]Bucket{
+		nil,
+		{{Lo: 10, Hi: 5, Weight: 1}},
+		{{Lo: 1, Hi: 2, Weight: 0}},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewEmpirical(bad)
+			t.Fatalf("NewEmpirical(%v) did not panic", bad)
+		}()
+	}
+}
+
+func TestMMPP2ProducesBursts(t *testing.T) {
+	m := &MMPP2{
+		CalmInterarrival:  100 * sim.Microsecond,
+		BurstInterarrival: 2 * sim.Microsecond,
+		CalmHold:          10 * sim.Millisecond,
+		BurstHold:         1 * sim.Millisecond,
+	}
+	r := rand.New(rand.NewSource(8))
+	var now sim.Time
+	short, long := 0, 0
+	for i := 0; i < 100000; i++ {
+		gap := m.Next(r, now)
+		now = now.Add(gap)
+		if gap < 20*sim.Microsecond {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("MMPP2 not modulating: short=%d long=%d", short, long)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture([]Component{
+		{Weight: 0.9, Sampler: Constant(1)},
+		{Weight: 0.1, Sampler: Constant(100)},
+	})
+	r := rand.New(rand.NewSource(9))
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("mixture picked component0 %.4f of draws, want ~0.9", frac)
+	}
+	wantMean := 0.9*1 + 0.1*100 // 10.9, truncated to 10 by integer conversion
+	if got := m.Mean(); got < sim.Duration(wantMean)-1 || got > sim.Duration(wantMean)+1 {
+		t.Fatalf("Mean = %v, want ~%.1f", got, wantMean)
+	}
+}
+
+// Property: every sampler returns non-negative durations for arbitrary
+// seeds.
+func TestPropertySamplersNonNegative(t *testing.T) {
+	samplers := []Sampler{
+		NewExponential(10 * sim.Microsecond),
+		Uniform{Lo: 0, Hi: 50},
+		NewLognormalFromMeanP99(sim.Millisecond, 10*sim.Millisecond),
+		BoundedPareto{Alpha: 1.2, Lo: 100, Hi: 10000},
+		NewEmpirical([]Bucket{{Lo: 0, Hi: 10, Weight: 1}}),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, s := range samplers {
+			for i := 0; i < 32; i++ {
+				if s.Sample(r) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyticMeans(t *testing.T) {
+	if NewExponential(100).Mean() != 100 {
+		t.Fatal("Exponential.Mean")
+	}
+	l := NewLognormalFromMeanP99(sim.Millisecond, 10*sim.Millisecond)
+	if m := l.Mean(); m < sim.Duration(float64(sim.Millisecond)*0.9) || m > sim.Duration(float64(sim.Millisecond)*1.1) {
+		t.Fatalf("Lognormal.Mean = %v, want ~1ms", m)
+	}
+	p := BoundedPareto{Alpha: 1.8, Lo: sim.Millisecond, Hi: 67 * sim.Millisecond}
+	analytic := float64(p.Mean())
+	empirical := sampleMean(p, 200000, 12)
+	if empirical < 0.9*analytic || empirical > 1.1*analytic {
+		t.Fatalf("Pareto mean: analytic %v vs empirical %.0f", p.Mean(), empirical)
+	}
+	e := NewEmpirical([]Bucket{{Lo: 0, Hi: 10, Weight: 1}})
+	if e.Mean() != 5 {
+		t.Fatalf("Empirical.Mean = %v", e.Mean())
+	}
+	m := &MMPP2{CalmInterarrival: 10, BurstInterarrival: 1, CalmHold: 100, BurstHold: 100}
+	r := rand.New(rand.NewSource(1))
+	m.Next(r, 0)
+	_ = m.InBurst() // state accessor
+}

@@ -1,0 +1,54 @@
+package experiments
+
+// Named couples an experiment id with its harness.
+type Named struct {
+	// ID is the short handle used by cmd/taichi-sim -exp and the bench
+	// names in bench_test.go.
+	ID string
+	// Title is the paper artifact the experiment regenerates.
+	Title string
+	// Run executes the harness at the given scale.
+	Run func(Scale) *Result
+}
+
+// Registry lists every table and figure harness in paper order, plus the
+// ablations. cmd/taichi-bench iterates this to regenerate the full
+// evaluation; bench_test.go exposes each entry as a testing.B benchmark.
+func Registry() []Named {
+	return []Named{
+		{"fig2", "Figure 2: VM startup & CP exec vs density (motivation)", Fig02Motivation},
+		{"fig3", "Figure 3: DP CPU utilization CDF", Fig03UtilizationCDF},
+		{"fig4", "Figure 4: latency-spike anatomy", Fig04SpikeAnatomy},
+		{"fig5", "Figure 5: non-preemptible routine census", Fig05Census},
+		{"fig6", "Figure 6: I/O processing breakdown", Fig06IOBreakdown},
+		{"table1", "Table 1: preemption granularity", Table1Granularity},
+		{"table2", "Table 2: virtualization design properties", Table2Properties},
+		{"fig11", "Figure 11: synth_cp vs concurrency", Fig11SynthCP},
+		{"fig12", "Figure 12: netperf tcp_crr", Fig12TCPCRR},
+		{"fig13", "Figure 13: fio IOPS", Fig13FioIOPS},
+		{"table5", "Table 5: ping RTT", Table5PingRTT},
+		{"fig14", "Figure 14: normalized DP suite", Fig14DPSuite},
+		{"fig15", "Figure 15: MySQL", Fig15MySQL},
+		{"fig16", "Figure 16: Nginx", Fig16Nginx},
+		{"fig17", "Figure 17: VM startup with Tai Chi", Fig17VMStartup},
+		{"sec8", "Section 8: dynamic DP repartition", Sec8DynamicDP},
+		{"sec8-rt", "Section 8: always-preemptible kernel context", Sec8RealtimeContext},
+		{"abl-slice", "Ablation: adaptive time slice", AblationAdaptiveSlice},
+		{"abl-yield", "Ablation: adaptive yield threshold", AblationAdaptiveYield},
+		{"abl-rescue", "Ablation: lock rescue", AblationLockRescue},
+		{"abl-posted", "Ablation: posted interrupts", AblationPostedInterrupts},
+		{"abl-conntrack", "Ablation: DP connection-table sizing", AblationConnTrack},
+		{"abl-ipiv", "Ablation: IPI virtualization", AblationIPIV},
+	}
+}
+
+// ByID returns the named experiment, or nil.
+func ByID(id string) *Named {
+	for _, n := range Registry() {
+		if n.ID == id {
+			n := n
+			return &n
+		}
+	}
+	return nil
+}

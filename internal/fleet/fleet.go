@@ -1,0 +1,85 @@
+// Package fleet runs many independently-seeded SmartNIC nodes and
+// aggregates their statistics. The paper's production analyses sample
+// whole server fleets — Figure 3's utilization CDF covers hundreds of
+// compute nodes and Figure 5's routine census dozens — so single-node
+// measurements systematically under-represent cross-node variance. Each
+// fleet member gets its own deterministic engine and seed; members run
+// sequentially (the simulation is single-threaded by design) and the
+// caller merges per-node results.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Member is one node's driver: build the node and run it to the horizon,
+// then report into the shared aggregates. The build/drive split keeps
+// member construction deterministic per seed.
+type Member func(idx int, seed int64, agg *Aggregates)
+
+// Aggregates collects fleet-wide statistics.
+type Aggregates struct {
+	// Hist holds named histograms merged across members.
+	hist map[string]*metrics.Histogram
+	// Scalars accumulates named sums (e.g. total packets).
+	scalars map[string]float64
+	// Members is the number of nodes that reported.
+	Members int
+}
+
+// NewAggregates returns an empty collector.
+func NewAggregates() *Aggregates {
+	return &Aggregates{hist: map[string]*metrics.Histogram{}, scalars: map[string]float64{}}
+}
+
+// Histogram returns the named fleet-wide histogram, creating it on first
+// use.
+func (a *Aggregates) Histogram(name string) *metrics.Histogram {
+	h, ok := a.hist[name]
+	if !ok {
+		h = metrics.NewHistogram(name)
+		a.hist[name] = h
+	}
+	return h
+}
+
+// Merge folds a member histogram into the named fleet histogram.
+func (a *Aggregates) Merge(name string, h *metrics.Histogram) {
+	a.Histogram(name).Merge(h)
+}
+
+// Add accumulates a named scalar.
+func (a *Aggregates) Add(name string, v float64) { a.scalars[name] += v }
+
+// Scalar returns an accumulated value.
+func (a *Aggregates) Scalar(name string) float64 { return a.scalars[name] }
+
+// Run executes n members sequentially with seeds derived from baseSeed
+// and returns the merged aggregates. Seeds are spread so members are
+// statistically independent but the whole fleet run stays reproducible.
+func Run(n int, baseSeed int64, member Member) *Aggregates {
+	if n <= 0 {
+		panic("fleet: need at least one member")
+	}
+	agg := NewAggregates()
+	for i := 0; i < n; i++ {
+		seed := baseSeed + int64(i)*1_000_003
+		member(i, seed, agg)
+		agg.Members++
+	}
+	return agg
+}
+
+// Describe renders the fleet aggregates, for debugging harnesses.
+func (a *Aggregates) Describe() string {
+	out := fmt.Sprintf("fleet aggregates over %d members\n", a.Members)
+	for name, h := range a.hist {
+		out += fmt.Sprintf("  %s: %s\n", name, h.Summarize())
+	}
+	for name, v := range a.scalars {
+		out += fmt.Sprintf("  %s = %g\n", name, v)
+	}
+	return out
+}

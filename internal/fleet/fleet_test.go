@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func TestRunAggregates(t *testing.T) {
+	agg := Run(5, 100, func(idx int, seed int64, a *Aggregates) {
+		h := metrics.NewHistogram("lat")
+		h.Record(sim.Duration(idx+1) * sim.Microsecond)
+		a.Merge("lat", h)
+		a.Add("packets", float64(10*(idx+1)))
+	})
+	if agg.Members != 5 {
+		t.Fatalf("members %d", agg.Members)
+	}
+	if got := agg.Histogram("lat").Count(); got != 5 {
+		t.Fatalf("merged count %d", got)
+	}
+	if got := agg.Scalar("packets"); got != 150 {
+		t.Fatalf("scalar %v", got)
+	}
+}
+
+func TestSeedsDistinctAndDeterministic(t *testing.T) {
+	collect := func() []int64 {
+		var seeds []int64
+		Run(4, 7, func(_ int, seed int64, _ *Aggregates) { seeds = append(seeds, seed) })
+		return seeds
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeds not deterministic")
+		}
+		for j := i + 1; j < len(a); j++ {
+			if a[i] == a[j] {
+				t.Fatal("duplicate member seeds")
+			}
+		}
+	}
+}
+
+func TestZeroMembersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(0, 1, func(int, int64, *Aggregates) {})
+}
+
+func TestDescribe(t *testing.T) {
+	agg := Run(1, 1, func(_ int, _ int64, a *Aggregates) {
+		a.Add("x", 2)
+		a.Histogram("h").Record(5)
+	})
+	out := agg.Describe()
+	if !strings.Contains(out, "1 members") || !strings.Contains(out, "x = 2") {
+		t.Fatalf("describe output:\n%s", out)
+	}
+}

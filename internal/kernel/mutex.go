@@ -1,0 +1,75 @@
+package kernel
+
+// Mutex is a sleeping lock: contended acquirers block off-CPU in a FIFO
+// wait queue instead of spinning. It is the other half of the kernel
+// locking story — §3.2 concerns spinlocks because those create
+// non-preemptible sections, while mutex-protected sections stay
+// preemptible and merely serialize. CP tasks use mutexes for long,
+// sleep-legal critical sections (log writers, configuration stores).
+//
+// Use via a SegMutex segment: the kernel acquires (parking the thread if
+// contended), runs the preemptible critical section for Dur, and releases,
+// waking the next waiter.
+type Mutex struct {
+	Name  string
+	owner *Thread
+	queue []*Thread
+
+	// AcquireCount / ContendedCount mirror SpinLock's counters.
+	AcquireCount   uint64
+	ContendedCount uint64
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(name string) *Mutex { return &Mutex{Name: name} }
+
+// Owner returns the current holder, or nil.
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// Locked reports whether the mutex is held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Waiters returns the number of blocked threads.
+func (m *Mutex) Waiters() int { return len(m.queue) }
+
+// tryAcquire takes the mutex for t if it is free or already granted to t
+// (grant-on-release hands ownership to the next waiter before waking it).
+func (m *Mutex) tryAcquire(t *Thread) bool {
+	if m.owner == t {
+		return true
+	}
+	if m.owner != nil {
+		return false
+	}
+	m.owner = t
+	m.AcquireCount++
+	return true
+}
+
+// enqueue parks t in the FIFO wait queue (no duplicates).
+func (m *Mutex) enqueue(t *Thread) {
+	for _, w := range m.queue {
+		if w == t {
+			return
+		}
+	}
+	m.queue = append(m.queue, t)
+	m.ContendedCount++
+}
+
+// release frees the mutex held by t, transferring ownership to the next
+// waiter (if any) and returning it so the kernel can wake it.
+func (m *Mutex) release(t *Thread) *Thread {
+	if m.owner != t {
+		panic("kernel: releasing mutex not held by thread " + t.Name)
+	}
+	m.owner = nil
+	if len(m.queue) == 0 {
+		return nil
+	}
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	m.owner = next
+	m.AcquireCount++
+	return next
+}

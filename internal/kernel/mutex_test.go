@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mutexProg(m *Mutex, hold sim.Duration, n int) Program {
+	var segs []Segment
+	for i := 0; i < n; i++ {
+		segs = append(segs, Segment{Kind: SegMutex, Mutex: m, Dur: hold, Note: "crit"})
+	}
+	return &SliceProgram{Segments: segs}
+}
+
+func TestMutexSerializesWithoutSpinning(t *testing.T) {
+	e, k := newTestKernel(2, 0)
+	m := NewMutex("log")
+	a := k.Spawn("a", mutexProg(m, 10*sim.Millisecond, 1))
+	b := k.Spawn("b", mutexProg(m, 10*sim.Millisecond, 1))
+	e.Run(sim.Time(100 * sim.Millisecond))
+	if a.State() != StateDone || b.State() != StateDone {
+		t.Fatal("mutex users did not finish")
+	}
+	late := a.FinishedAt
+	if b.FinishedAt > late {
+		late = b.FinishedAt
+	}
+	if late < sim.Time(20*sim.Millisecond) {
+		t.Fatalf("critical sections overlapped; last finished %v", late)
+	}
+	// The crucial difference from a spinlock: the waiter SLEEPS, so its
+	// CPU time is only its own hold, not hold+wait.
+	for _, th := range []*Thread{a, b} {
+		if th.CPUTime > 11*sim.Millisecond {
+			t.Fatalf("%s burned %v CPU; mutex waiter must sleep, not spin", th.Name, th.CPUTime)
+		}
+	}
+	if m.Locked() || m.Waiters() != 0 {
+		t.Fatal("mutex leaked")
+	}
+	if m.ContendedCount == 0 {
+		t.Fatal("expected contention")
+	}
+}
+
+func TestMutexFIFOGrant(t *testing.T) {
+	e, k := newTestKernel(4, 0)
+	m := NewMutex("cfg")
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		k.Spawn(name, &SliceProgram{Segments: []Segment{
+			{Kind: SegMutex, Mutex: m, Dur: 5 * sim.Millisecond,
+				OnStart: func() { order = append(order, name) }},
+		}})
+	}
+	e.Run(sim.Time(100 * sim.Millisecond))
+	if len(order) != 3 {
+		t.Fatalf("grants: %v", order)
+	}
+	// All three contend nearly simultaneously; the queue is FIFO from the
+	// moment they park, so every thread eventually gets exactly one grant.
+	seen := map[string]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatalf("double grant: %v", order)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMutexHolderIsPreemptible(t *testing.T) {
+	e, k := newTestKernel(1, 0)
+	m := NewMutex("big")
+	holder := k.Spawn("holder", mutexProg(m, 50*sim.Millisecond, 1))
+	victim := k.Spawn("victim", computeProg(1, sim.Millisecond))
+	e.Run(sim.Time(200 * sim.Millisecond))
+	if holder.State() != StateDone || victim.State() != StateDone {
+		t.Fatal("threads did not finish")
+	}
+	// Unlike the spinlock case, the victim gets the CPU inside the hold.
+	if victim.FinishedAt > sim.Time(10*sim.Millisecond) {
+		t.Fatalf("victim finished at %v; mutex hold blocked preemption", victim.FinishedAt)
+	}
+}
+
+func TestMutexAcrossVCPUFreeze(t *testing.T) {
+	e, k := newTestKernel(1, 1)
+	vc := k.CPU(1)
+	vc.SetOnline(true)
+	m := NewMutex("shared")
+	holder := k.Spawn("holder", mutexProg(m, 10*sim.Millisecond, 1), 1)
+	waiter := k.Spawn("waiter", mutexProg(m, sim.Millisecond, 1), 0)
+	vc.PowerOn()
+	// Freeze the holder mid-hold; the waiter sleeps (burning nothing)
+	// until the thaw lets the holder finish.
+	e.At(sim.Time(2*sim.Millisecond), func() { vc.PowerOff() })
+	e.At(sim.Time(30*sim.Millisecond), func() { vc.PowerOn() })
+	e.Run(sim.Time(200 * sim.Millisecond))
+	if holder.State() != StateDone || waiter.State() != StateDone {
+		t.Fatalf("states %v/%v", holder.State(), waiter.State())
+	}
+	if waiter.CPUTime > 2*sim.Millisecond {
+		t.Fatalf("waiter burned %v while the holder was frozen", waiter.CPUTime)
+	}
+	if holder.CPUTime != 10*sim.Millisecond {
+		t.Fatalf("holder CPU %v, want exactly its hold", holder.CPUTime)
+	}
+}
+
+func TestMutexWithoutMutexPanics(t *testing.T) {
+	e, k := newTestKernel(1, 0)
+	k.Spawn("bad", &SliceProgram{Segments: []Segment{{Kind: SegMutex, Dur: 1}}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Run(sim.Time(sim.Millisecond))
+}
+
+func TestMutexSegmentKindString(t *testing.T) {
+	if SegMutex.String() != "mutex" {
+		t.Fatal("SegMutex name")
+	}
+	if !(Segment{Kind: SegMutex}).Preemptible() {
+		t.Fatal("mutex sections must be preemptible")
+	}
+}

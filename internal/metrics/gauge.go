@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing event count with a helper to
+// convert to a rate over a measured interval.
+type Counter struct {
+	name  string
+	value uint64
+}
+
+// NewCounter returns a zeroed counter with a display name.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.value++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.value }
+
+// Name returns the counter's display name.
+func (c *Counter) Name() string { return c.name }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.value = 0 }
+
+// RatePerSecond converts the count to a per-simulated-second rate over the
+// given interval.
+func (c *Counter) RatePerSecond(interval sim.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(c.value) / interval.Seconds()
+}
+
+// BusyGauge tracks time-weighted busy fraction of a resource (e.g. a CPU
+// core). Transitions are recorded with the simulated timestamp at which
+// they occur; Utilization integrates busy time over the observed window.
+type BusyGauge struct {
+	name      string
+	busy      bool
+	lastEdge  sim.Time
+	busyTime  sim.Duration
+	windowLo  sim.Time
+	everEdged bool
+}
+
+// NewBusyGauge returns a gauge that considers the resource idle at start.
+func NewBusyGauge(name string, start sim.Time) *BusyGauge {
+	return &BusyGauge{name: name, lastEdge: start, windowLo: start}
+}
+
+// SetBusy records a busy/idle transition at time now. Redundant
+// transitions (already in the target state) are ignored.
+func (g *BusyGauge) SetBusy(now sim.Time, busy bool) {
+	if busy == g.busy {
+		return
+	}
+	if g.busy {
+		g.busyTime += now.Sub(g.lastEdge)
+	}
+	g.busy = busy
+	g.lastEdge = now
+	g.everEdged = true
+}
+
+// Busy reports the current state.
+func (g *BusyGauge) Busy() bool { return g.busy }
+
+// Utilization returns the busy fraction of [windowStart, now].
+func (g *BusyGauge) Utilization(now sim.Time) float64 {
+	total := now.Sub(g.windowLo)
+	if total <= 0 {
+		return 0
+	}
+	busy := g.busyTime
+	if g.busy {
+		busy += now.Sub(g.lastEdge)
+	}
+	return float64(busy) / float64(total)
+}
+
+// ResetWindow restarts the measurement window at now, preserving the
+// current busy/idle state.
+func (g *BusyGauge) ResetWindow(now sim.Time) {
+	if g.busy {
+		// Account the in-flight busy span into the old window, then drop it.
+		g.lastEdge = now
+	}
+	g.busyTime = 0
+	g.windowLo = now
+	g.lastEdge = now
+}
+
+// BusyTime returns accumulated busy time in the current window, including
+// any in-flight busy span up to now.
+func (g *BusyGauge) BusyTime(now sim.Time) sim.Duration {
+	busy := g.busyTime
+	if g.busy {
+		busy += now.Sub(g.lastEdge)
+	}
+	return busy
+}
+
+// Name returns the gauge's display name.
+func (g *BusyGauge) Name() string { return g.name }
+
+// Series is an append-only sequence of (x, y) points for figure data,
+// e.g. "density → normalized startup time".
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Point is one (x, y) sample of a Series.
+type Point struct {
+	X, Y float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// String renders the series as aligned "x y" rows.
+func (s *Series) String() string {
+	out := fmt.Sprintf("# %s (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%12.4f %12.4f\n", p.X, p.Y)
+	}
+	return out
+}

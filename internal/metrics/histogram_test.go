@@ -1,0 +1,273 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat")
+	for _, v := range []sim.Duration{10, 20, 30, 40, 50} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 10 || h.Max() != 50 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 30 {
+		t.Fatalf("Mean = %v, want 30", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := sim.Duration(0); v < 1000000; v += 7 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketLowInvertsIndex(t *testing.T) {
+	for i := 0; i < 900; i++ {
+		lo := bucketLow(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%v) = %d", i, lo, got)
+		}
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	h := NewHistogram("q")
+	r := rand.New(rand.NewSource(1))
+	var vals []sim.Duration
+	for i := 0; i < 100000; i++ {
+		v := sim.Duration(r.Int63n(10 * int64(sim.Millisecond)))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		lo, hi := float64(exact)*0.9, float64(exact)*1.1
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("Quantile(%v) = %v, exact %v (>10%% off)", q, got, exact)
+		}
+	}
+}
+
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram("x")
+	h.Record(100)
+	h.Record(900)
+	if h.Quantile(0) != 100 {
+		t.Fatalf("Quantile(0) = %v, want recorded min", h.Quantile(0))
+	}
+	if h.Quantile(1) != 900 {
+		t.Fatalf("Quantile(1) = %v, want recorded max", h.Quantile(1))
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram("neg")
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative record should clamp to 0, got min %v", h.Min())
+	}
+}
+
+func TestMergeConservesCounts(t *testing.T) {
+	a, b := NewHistogram("a"), NewHistogram("b")
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a.Record(sim.Duration(r.Int63n(1000)))
+		b.Record(sim.Duration(r.Int63n(100000)))
+	}
+	total := a.Count() + b.Count()
+	min := a.Min()
+	if b.Min() < min {
+		min = b.Min()
+	}
+	max := a.Max()
+	if b.Max() > max {
+		max = b.Max()
+	}
+	a.Merge(b)
+	if a.Count() != total {
+		t.Fatalf("merged count %d, want %d", a.Count(), total)
+	}
+	if a.Min() != min || a.Max() != max {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), min, max)
+	}
+}
+
+// Property: quantiles are monotone non-decreasing in q.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram("p")
+		for _, v := range raw {
+			h.Record(sim.Duration(v))
+		}
+		prev := sim.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is value-conserving — FractionBelow over the merged
+// histogram equals the weighted average of the parts.
+func TestPropertyMergeFractions(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b, m := NewHistogram("a"), NewHistogram("b"), NewHistogram("m")
+		for _, x := range xs {
+			a.Record(sim.Duration(x))
+			m.Record(sim.Duration(x))
+		}
+		for _, y := range ys {
+			b.Record(sim.Duration(y))
+			m.Record(sim.Duration(y))
+		}
+		a.Merge(b)
+		if a.Count() != m.Count() {
+			return false
+		}
+		for _, v := range []sim.Duration{10, 100, 1000, 30000} {
+			if a.FractionBelow(v) != m.FractionBelow(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotoneAndComplete(t *testing.T) {
+	h := NewHistogram("cdf")
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		h.Record(sim.Duration(r.Int63n(int64(sim.Millisecond))))
+	}
+	pts := h.CDF(50)
+	if len(pts) == 0 || len(pts) > 50 {
+		t.Fatalf("CDF returned %d points", len(pts))
+	}
+	prevV, prevF := -1.0, -1.0
+	for _, p := range pts {
+		if p.Value < prevV || p.Fraction < prevF {
+			t.Fatalf("CDF not monotone at %+v", p)
+		}
+		prevV, prevF = p.Value, p.Fraction
+	}
+	if last := pts[len(pts)-1].Fraction; last != 1.0 {
+		t.Fatalf("CDF does not reach 1.0: %v", last)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := NewHistogram("fb")
+	for i := 0; i < 100; i++ {
+		h.Record(sim.Duration(i))
+	}
+	got := h.FractionBelow(50)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("FractionBelow(50) = %v, want ~0.5", got)
+	}
+	if h.FractionBelow(1000) != 1.0 {
+		t.Fatal("FractionBelow above max should be 1")
+	}
+}
+
+func TestCountBetween(t *testing.T) {
+	h := NewHistogram("cb")
+	for i := 0; i < 10; i++ {
+		h.Record(sim.Millisecond + sim.Duration(i)*sim.Millisecond)
+	}
+	got := h.CountBetween(sim.Millisecond, 5*sim.Millisecond)
+	if got < 3 || got > 5 {
+		t.Fatalf("CountBetween = %d, want ~4", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	h := NewHistogram("rtt")
+	h.Record(26 * sim.Microsecond)
+	h.Record(30 * sim.Microsecond)
+	h.Record(38 * sim.Microsecond)
+	s := h.Summarize()
+	if s.Count != 3 || s.Name != "rtt" {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestStddevAndMdev(t *testing.T) {
+	h := NewHistogram("dev")
+	for i := 0; i < 1000; i++ {
+		h.Record(30 * sim.Microsecond)
+	}
+	if h.Stddev() > 2*sim.Microsecond {
+		t.Fatalf("constant data stddev %v too large", h.Stddev())
+	}
+	if h.MeanDeviation() > 2*sim.Microsecond {
+		t.Fatalf("constant data mdev %v too large", h.MeanDeviation())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := NewHistogram("r")
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestBucketsNonEmpty(t *testing.T) {
+	h := NewHistogram("b")
+	h.Record(1)
+	h.Record(1)
+	h.Record(1000)
+	bks := h.Buckets()
+	var total uint64
+	for _, b := range bks {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+}

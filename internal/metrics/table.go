@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables, the output format of
+// cmd/taichi-bench when regenerating the paper's tables and figures.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Rows returns the formatted row cells, useful for assertions in tests.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Registry collects named histograms and counters for a simulation run so
+// experiment harnesses can grab everything in one place.
+type Registry struct {
+	histograms map[string]*Histogram
+	counters   map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		histograms: make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(name)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter(name)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string { return sortedKeys(r.histograms) }
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string { return sortedKeys(r.counters) }
+
+// Dump renders every histogram summary and counter, sorted by name.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	for _, name := range r.HistogramNames() {
+		fmt.Fprintln(&b, r.histograms[name].Summarize())
+	}
+	for _, name := range r.CounterNames() {
+		fmt.Fprintf(&b, "%s: %d\n", name, r.counters[name].Value())
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+// Package platform assembles a simulated SmartNIC node: the event engine,
+// tracer, native OS kernel on the CP cores, the programmable accelerator
+// pipeline (with or without the hardware workload probe), and the
+// network/storage data-plane services on the DP cores. It supplies
+// mechanism only; scheduling policy (Tai Chi, static partitioning, the
+// virtualization baselines) is mounted on top by internal/core and
+// internal/baseline.
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/dataplane"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Topology fixes which physical cores do what. The default mirrors the
+// paper's production partitioning (§6.1): 12 SmartNIC cores, 8 reserved
+// for DP (split between networking and storage) and 4 for CP.
+type Topology struct {
+	NetCores  []int
+	StorCores []int
+	CPCores   []int
+}
+
+// DefaultTopology returns the 4 net + 4 storage + 4 CP split.
+func DefaultTopology() Topology {
+	return Topology{
+		NetCores:  []int{0, 1, 2, 3},
+		StorCores: []int{4, 5, 6, 7},
+		CPCores:   []int{8, 9, 10, 11},
+	}
+}
+
+// DPCores returns all data-plane core ids (net then storage).
+func (t Topology) DPCores() []int {
+	out := append([]int{}, t.NetCores...)
+	return append(out, t.StorCores...)
+}
+
+// Options configures node assembly.
+type Options struct {
+	Seed     int64
+	Topology Topology
+	// Kernel is the OS cost model.
+	Kernel kernel.Config
+	// Net / Stor are the per-service DP cost models.
+	Net  dataplane.Config
+	Stor dataplane.Config
+	// Accel is the pipeline timing (Figure 6).
+	Accel accel.Config
+	// HWProbe fits the hardware workload probe into the accelerator.
+	HWProbe bool
+	// ProbeIRQLatency is the accelerator→CPU interrupt latency.
+	ProbeIRQLatency sim.Duration
+	// TraceLimit caps stored trace events (0 = unlimited).
+	TraceLimit int
+	// TraceKinds restricts tracing to the given kinds. When nil and
+	// TraceAll is false, a default set excluding the per-packet lifecycle
+	// kinds applies — packet events dominate event volume (four per
+	// packet at millions of packets per second) and only the Figure 6
+	// breakdown needs them.
+	TraceKinds []trace.Kind
+	// TraceAll records every kind, including packet lifecycle events.
+	TraceAll bool
+}
+
+// DefaultOptions returns a production-like node configuration with
+// calibrated per-packet costs: ~1 µs of DP software work per network
+// packet and ~4 µs per 4 KB storage command.
+func DefaultOptions() Options {
+	net := dataplane.DefaultConfig()
+	stor := dataplane.DefaultConfig()
+	stor.EmptyPollCost = 120 * sim.Nanosecond
+	return Options{
+		Seed:            1,
+		Topology:        DefaultTopology(),
+		Kernel:          kernel.DefaultConfig(),
+		Net:             net,
+		Stor:            stor,
+		Accel:           accel.DefaultConfig(),
+		HWProbe:         true,
+		ProbeIRQLatency: 500 * sim.Nanosecond,
+	}
+}
+
+// DefaultTraceKinds returns every trace kind except the per-packet
+// lifecycle events, whose volume would dwarf everything else.
+func DefaultTraceKinds() []trace.Kind {
+	return []trace.Kind{
+		trace.KindNonPreemptibleBegin, trace.KindNonPreemptibleEnd,
+		trace.KindSchedSwitch, trace.KindVMEntry, trace.KindVMExit,
+		trace.KindIPISend, trace.KindIPIDeliver,
+		trace.KindYield, trace.KindPreempt, trace.KindProbeIRQ,
+		trace.KindSoftirqRaise, trace.KindSoftirqRun,
+	}
+}
+
+// Node is one assembled SmartNIC.
+type Node struct {
+	Opts   Options
+	Engine *sim.Engine
+	RNG    *sim.RNG
+	Tracer *trace.Tracer
+	Kernel *kernel.Kernel
+	Net    *dataplane.Service
+	Stor   *dataplane.Service
+	Pipe   *accel.Pipeline
+	Probe  *accel.Probe // nil unless Options.HWProbe
+
+	Metrics *metrics.Registry
+
+	byCore map[int]*dataplane.Core
+}
+
+// NewNode assembles a SmartNIC from options.
+func NewNode(opts Options) *Node {
+	if len(opts.Topology.NetCores) == 0 && len(opts.Topology.StorCores) == 0 {
+		panic("platform: topology has no DP cores")
+	}
+	engine := sim.NewEngine()
+	tracer := trace.New(opts.TraceLimit)
+	switch {
+	case opts.TraceAll:
+		// record everything
+	case len(opts.TraceKinds) > 0:
+		tracer.EnableOnly(opts.TraceKinds...)
+	default:
+		tracer.EnableOnly(DefaultTraceKinds()...)
+	}
+	n := &Node{
+		Opts:    opts,
+		Engine:  engine,
+		RNG:     sim.NewRNG(opts.Seed),
+		Tracer:  tracer,
+		Kernel:  kernel.New(engine, opts.Kernel, tracer),
+		Metrics: metrics.NewRegistry(),
+		byCore:  map[int]*dataplane.Core{},
+	}
+	for _, id := range opts.Topology.CPCores {
+		n.Kernel.AddCPU(kernel.CPUID(id), false)
+	}
+	if len(opts.Topology.NetCores) > 0 {
+		n.Net = dataplane.NewService(engine, "net", opts.Topology.NetCores, opts.Net, tracer)
+		for _, c := range n.Net.Cores() {
+			n.byCore[c.ID] = c
+		}
+	}
+	if len(opts.Topology.StorCores) > 0 {
+		n.Stor = dataplane.NewService(engine, "stor", opts.Topology.StorCores, opts.Stor, tracer)
+		for _, c := range n.Stor.Cores() {
+			n.byCore[c.ID] = c
+		}
+	}
+	if opts.HWProbe {
+		n.Probe = accel.NewProbe(opts.ProbeIRQLatency)
+	}
+	n.Pipe = accel.NewPipeline(engine, opts.Accel, n.Probe, tracer, func(core int, p *accel.Packet) {
+		c := n.byCore[core]
+		if c == nil {
+			panic(fmt.Sprintf("platform: packet for unknown DP core %d", core))
+		}
+		c.Deliver(p)
+	})
+	return n
+}
+
+// DPCore returns the data-plane core with the given physical id, or nil.
+func (n *Node) DPCore(id int) *dataplane.Core { return n.byCore[id] }
+
+// DPCores returns every data-plane core (net then storage order).
+func (n *Node) DPCores() []*dataplane.Core {
+	var out []*dataplane.Core
+	if n.Net != nil {
+		out = append(out, n.Net.Cores()...)
+	}
+	if n.Stor != nil {
+		out = append(out, n.Stor.Cores()...)
+	}
+	return out
+}
+
+// InjectNet sends a network packet for the given flow through the
+// accelerator into the network DP service.
+func (n *Node) InjectNet(flow int, work sim.Duration, done func(p *accel.Packet, at sim.Time)) {
+	core := n.Net.CoreForFlow(flow)
+	n.Pipe.Inject(&accel.Packet{Core: core.ID, Work: work, Done: done})
+}
+
+// InjectStor sends a storage command for the given flow through the
+// accelerator into the storage DP service.
+func (n *Node) InjectStor(flow int, work sim.Duration, done func(p *accel.Packet, at sim.Time)) {
+	core := n.Stor.CoreForFlow(flow)
+	n.Pipe.Inject(&accel.Packet{Core: core.ID, Work: work, Done: done})
+}
+
+// Stream returns a deterministic RNG stream for a named workload.
+func (n *Node) Stream(name string) *rand.Rand { return n.RNG.Stream(name) }
+
+// Run advances the node's simulation to the given instant.
+func (n *Node) Run(until sim.Time) { n.Engine.Run(until) }
+
+// Now returns the node's simulated clock.
+func (n *Node) Now() sim.Time { return n.Engine.Now() }

@@ -1,0 +1,105 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/sim"
+)
+
+func TestDefaultTopology(t *testing.T) {
+	topo := DefaultTopology()
+	if len(topo.NetCores) != 4 || len(topo.StorCores) != 4 || len(topo.CPCores) != 4 {
+		t.Fatalf("topology %+v, want 4/4/4 (Table 4: 12 SmartNIC cores)", topo)
+	}
+	if got := len(topo.DPCores()); got != 8 {
+		t.Fatalf("DPCores = %d", got)
+	}
+}
+
+func TestNodeAssembly(t *testing.T) {
+	n := NewNode(DefaultOptions())
+	if n.Net == nil || n.Stor == nil || n.Pipe == nil || n.Kernel == nil {
+		t.Fatal("incomplete assembly")
+	}
+	if n.Probe == nil {
+		t.Fatal("default options fit the hardware probe")
+	}
+	if len(n.Kernel.CPUs()) != 4 {
+		t.Fatalf("kernel sees %d CPUs, want the 4 CP cores", len(n.Kernel.CPUs()))
+	}
+	if len(n.DPCores()) != 8 {
+		t.Fatalf("DP cores %d", len(n.DPCores()))
+	}
+	for _, id := range DefaultTopology().DPCores() {
+		if n.DPCore(id) == nil {
+			t.Fatalf("missing DP core %d", id)
+		}
+	}
+}
+
+func TestNoProbeOption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.HWProbe = false
+	n := NewNode(opts)
+	if n.Probe != nil {
+		t.Fatal("probe fitted despite HWProbe=false")
+	}
+}
+
+func TestInjectRouting(t *testing.T) {
+	n := NewNode(DefaultOptions())
+	var netDone, storDone bool
+	n.InjectNet(0, sim.Microsecond, func(*accel.Packet, sim.Time) { netDone = true })
+	n.InjectStor(0, sim.Microsecond, func(*accel.Packet, sim.Time) { storDone = true })
+	n.Run(sim.Time(sim.Millisecond))
+	if !netDone || !storDone {
+		t.Fatalf("net=%v stor=%v", netDone, storDone)
+	}
+	if n.Net.TotalProcessed() != 1 || n.Stor.TotalProcessed() != 1 {
+		t.Fatal("packets routed to wrong service")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		n := NewNode(DefaultOptions())
+		r := n.Stream("gen")
+		var last sim.Time
+		var pump func()
+		pump = func() {
+			n.InjectNet(r.Intn(16), sim.Microsecond, func(_ *accel.Packet, at sim.Time) { last = at })
+			n.Engine.Schedule(sim.Exponential(r, 10*sim.Microsecond), pump)
+		}
+		n.Engine.Schedule(1, pump)
+		n.Run(sim.Time(10 * sim.Millisecond))
+		return n.Engine.Fired(), last
+	}
+	f1, l1 := run()
+	f2, l2 := run()
+	if f1 != f2 || l1 != l2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", f1, l1, f2, l2)
+	}
+}
+
+func TestEmptyTopologyPanics(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Topology = Topology{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewNode(opts)
+}
+
+func TestUnknownCorePanics(t *testing.T) {
+	n := NewNode(DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.Pipe.Inject(&accel.Packet{Core: 99})
+	n.Run(sim.Time(sim.Millisecond))
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in simulated time. Events are created via
+// Engine.Schedule / Engine.At and may be cancelled before they fire.
+type Event struct {
+	when     Time
+	seq      uint64 // FIFO tiebreak among events at the same instant
+	index    int    // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+	name     string // optional label for debugging/tracing
+}
+
+// When returns the instant the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is O(log n).
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Name returns the optional debug label attached to the event.
+func (e *Event) Name() string { return e.name }
+
+// eventQueue is a binary min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; all simulated components run on the goroutine that calls
+// Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	fired   uint64
+	stopped bool
+	// Limit guards against runaway simulations: Run panics after this many
+	// events if non-zero.
+	Limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far, useful for
+// instrumentation and runaway detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. A negative delay panics: the past
+// is immutable in a discrete-event simulation.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	return e.schedule(e.now.Add(delay), "", fn)
+}
+
+// ScheduleNamed is Schedule with a debug label attached to the event.
+func (e *Engine) ScheduleNamed(delay Duration, name string, fn func()) *Event {
+	return e.schedule(e.now.Add(delay), name, fn)
+}
+
+// At queues fn to run at the absolute instant t, which must not precede the
+// current time.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.schedule(t, "", fn)
+}
+
+func (e *Engine) schedule(t Time, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn, name: name}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Queued events remain queued and a subsequent Run resumes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty. Cancelled events are discarded
+// without executing and without counting as a step.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until no events remain, Stop is called, or the clock
+// would pass `until` (events at exactly `until` do fire). It returns the
+// number of events executed by this call.
+func (e *Engine) Run(until Time) uint64 {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped {
+		// Peek to honor the horizon without consuming the event.
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.when > until {
+			// Advance the clock to the horizon so callers observe a full
+			// interval elapsed even when the system went idle early.
+			e.now = until
+			break
+		}
+		e.Step()
+		if e.Limit != 0 && e.fired-start > e.Limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (runaway simulation?)", e.Limit))
+		}
+	}
+	if e.now < until && e.peek() == nil {
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunUntilIdle executes events until the queue drains or Stop is called.
+func (e *Engine) RunUntilIdle() uint64 {
+	e.stopped = false
+	start := e.fired
+	for !e.stopped && e.Step() {
+		if e.Limit != 0 && e.fired-start > e.Limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded (runaway simulation?)", e.Limit))
+		}
+	}
+	return e.fired - start
+}
+
+// peek returns the earliest non-cancelled event without executing it,
+// discarding cancelled events as it goes.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+// Ticker invokes fn every period until cancelled. fn observes the engine
+// clock already advanced to the tick instant.
+type Ticker struct {
+	engine *Engine
+	period Duration
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// NewTicker starts a periodic callback with the first firing one period
+// from now.
+func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

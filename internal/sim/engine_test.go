@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(30, func() { got = append(got, e.Now()) })
+	e.Schedule(10, func() { got = append(got, e.Now()) })
+	e.Schedule(20, func() { got = append(got, e.Now()) })
+	e.RunUntilIdle()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events fired out of order: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestRunHorizonAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run(50)
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v after Run(50), want 50", e.Now())
+	}
+	e.Run(200)
+	if e.Now() != 200 {
+		t.Fatalf("Now = %v after Run(200), want 200", e.Now())
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+func TestRunFiresEventAtExactHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(50, func() { fired = true })
+	e.Run(50)
+	if !fired {
+		t.Fatal("event at exactly the horizon did not fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i+1), func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntilIdle()
+	if n != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", n)
+	}
+	// Resume drains the rest.
+	e.RunUntilIdle()
+	if n != 10 {
+		t.Fatalf("resume ran to %d, want 10", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recur)
+		}
+	}
+	e.Schedule(1, recur)
+	e.RunUntilIdle()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tk *Ticker
+	tk = e.NewTicker(10, func() {
+		ticks++
+		if ticks == 5 {
+			tk.Stop()
+		}
+	})
+	e.Run(1000)
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if e.Pending() != 0 && e.peek() != nil {
+		t.Fatalf("ticker left live events queued")
+	}
+}
+
+func TestEventLimitPanics(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 10
+	var loop func()
+	loop = func() { e.Schedule(1, loop) }
+	e.Schedule(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway simulation did not trip the event limit")
+		}
+	}()
+	e.RunUntilIdle()
+}
+
+// Property: for any set of delays, events fire in non-decreasing time order
+// and every non-cancelled event fires exactly once.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type rec struct {
+			at    Time
+			fired bool
+		}
+		recs := make([]rec, len(delays))
+		events := make([]*Event, len(delays))
+		var order []Time
+		for i, d := range delays {
+			i := i
+			events[i] = e.Schedule(Duration(d), func() {
+				recs[i].fired = true
+				recs[i].at = e.Now()
+				order = append(order, e.Now())
+			})
+		}
+		for i := range delays {
+			if i < len(cancelMask) && cancelMask[i] {
+				events[i].Cancel()
+			}
+		}
+		e.RunUntilIdle()
+		if !sort.SliceIsSorted(order, func(a, b int) bool { return order[a] < order[b] }) {
+			return false
+		}
+		for i := range delays {
+			cancelled := i < len(cancelMask) && cancelMask[i]
+			if cancelled && recs[i].fired {
+				return false
+			}
+			if !cancelled {
+				if !recs[i].fired || recs[i].at != Time(delays[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: identical seeds yield identical streams; distinct names yield
+// distinct streams.
+func TestPropertyRNGDeterminism(t *testing.T) {
+	f := func(seed int64, name string) bool {
+		a := NewRNG(seed).Stream(name)
+		b := NewRNG(seed).Stream(name)
+		for i := 0; i < 16; i++ {
+			if a.Int63() != b.Int63() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	r := NewRNG(42)
+	a, b := r.Stream("alpha"), r.Stream("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams alpha/beta collide on %d of 64 draws", same)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var sum Duration
+	const n = 200000
+	const mean = 10 * Microsecond
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, mean)
+	}
+	got := float64(sum) / n
+	if got < 0.97*float64(mean) || got > 1.03*float64(mean) {
+		t.Fatalf("empirical mean %.0f ns, want ~%d ns", got, mean)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		d := Uniform(r, 5, 15)
+		if d < 5 || d > 15 {
+			t.Fatalf("Uniform out of bounds: %d", d)
+		}
+	}
+	if Uniform(r, 20, 10) != 20 {
+		t.Fatal("degenerate Uniform should return lo")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		d := Jitter(r, 1000, 0.1)
+		if d < 900 || d > 1100 {
+			t.Fatalf("Jitter out of ±10%%: %d", d)
+		}
+	}
+	if Jitter(r, 0, 0.5) != 0 {
+		t.Fatal("Jitter(0) should be 0")
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2µs"},
+		{2700, "2.7µs"},
+		{3 * Millisecond, "3ms"},
+		{1500 * Millisecond, "1.5s"},
+		{-2 * Microsecond, "-2µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var tm Time = 1000
+	if tm.Add(500) != 1500 {
+		t.Fatal("Add")
+	}
+	if tm.Sub(400) != 600 {
+		t.Fatal("Sub")
+	}
+	if !tm.Before(2000) || tm.After(2000) {
+		t.Fatal("Before/After")
+	}
+	if Time(3200).Microseconds() != 3.2 {
+		t.Fatal("Microseconds")
+	}
+}

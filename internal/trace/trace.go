@@ -1,0 +1,324 @@
+// Package trace records structured simulation events and provides the
+// analyzers behind the paper's motivation figures: the non-preemptible
+// routine census (Figure 5), the latency-spike anatomy timeline (Figure 4),
+// scheduling-latency distributions (Table 1), and VM-exit reason
+// accounting used by the adaptive time-slice ablation.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Trace event kinds emitted by the kernel, vCPU, accelerator, and Tai Chi
+// scheduler models.
+const (
+	KindNone Kind = iota
+	// KindNonPreemptibleBegin/End bracket a kernel non-preemptible routine
+	// (spinlock hold, driver critical section).
+	KindNonPreemptibleBegin
+	KindNonPreemptibleEnd
+	// KindSchedSwitch is a context switch on a CPU.
+	KindSchedSwitch
+	// KindVMEntry / KindVMExit bracket vCPU residency on a physical core.
+	KindVMEntry
+	KindVMExit
+	// KindIPISend / KindIPIDeliver bracket an inter-processor interrupt.
+	KindIPISend
+	KindIPIDeliver
+	// KindPacketArrive/PreprocessDone/Delivered/Processed walk an I/O
+	// request through the accelerator into the data plane (Figure 6).
+	KindPacketArrive
+	KindPacketPreprocessDone
+	KindPacketDelivered
+	KindPacketProcessed
+	// KindYield / KindPreempt are the DP→CP and CP→DP transitions of §4.3.
+	KindYield
+	KindPreempt
+	// KindProbeIRQ is a hardware-workload-probe early interrupt.
+	KindProbeIRQ
+	// KindSoftirqRaise / KindSoftirqRun bracket the vCPU scheduler softirq.
+	KindSoftirqRaise
+	KindSoftirqRun
+)
+
+var kindNames = map[Kind]string{
+	KindNonPreemptibleBegin:  "np_begin",
+	KindNonPreemptibleEnd:    "np_end",
+	KindSchedSwitch:          "sched_switch",
+	KindVMEntry:              "vm_entry",
+	KindVMExit:               "vm_exit",
+	KindIPISend:              "ipi_send",
+	KindIPIDeliver:           "ipi_deliver",
+	KindPacketArrive:         "pkt_arrive",
+	KindPacketPreprocessDone: "pkt_preprocessed",
+	KindPacketDelivered:      "pkt_delivered",
+	KindPacketProcessed:      "pkt_processed",
+	KindYield:                "yield",
+	KindPreempt:              "preempt",
+	KindProbeIRQ:             "probe_irq",
+	KindSoftirqRaise:         "softirq_raise",
+	KindSoftirqRun:           "softirq_run",
+}
+
+// String returns the canonical short name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	CPU  int    // logical or physical CPU id, -1 if not applicable
+	Arg  int64  // kind-specific argument (thread id, packet id, vector...)
+	Note string // optional human-readable detail
+}
+
+// Tracer accumulates events. A nil *Tracer is a valid no-op sink so hot
+// paths can trace unconditionally.
+type Tracer struct {
+	events   []Event
+	filtered bool
+	enabled  [32]bool // indexed by Kind when filtered
+	dropped  uint64
+	limit    int
+}
+
+// New returns a tracer that records every kind, with an optional cap on
+// stored events (0 means unlimited).
+func New(limit int) *Tracer {
+	return &Tracer{limit: limit}
+}
+
+// EnableOnly restricts recording to the given kinds. Passing no kinds
+// disables recording entirely.
+func (t *Tracer) EnableOnly(kinds ...Kind) {
+	t.filtered = true
+	t.enabled = [32]bool{}
+	for _, k := range kinds {
+		t.enabled[k] = true
+	}
+}
+
+// Emit records one event. Safe to call on a nil tracer. The filter check
+// is a single array load so components can trace unconditionally on hot
+// paths (the accelerator emits four events per packet).
+func (t *Tracer) Emit(at sim.Time, kind Kind, cpu int, arg int64, note string) {
+	if t == nil {
+		return
+	}
+	if t.filtered && !t.enabled[kind] {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind, CPU: cpu, Arg: arg, Note: note})
+}
+
+// Events returns the recorded events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns how many events were discarded due to the cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len returns the number of stored events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Reset discards all stored events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.events = t.events[:0]
+	t.dropped = 0
+}
+
+// NonPreemptibleCensus pairs np_begin/np_end events per CPU and returns a
+// histogram of section durations — the analysis behind Figure 5.
+func (t *Tracer) NonPreemptibleCensus() *metrics.Histogram {
+	h := metrics.NewHistogram("non_preemptible_duration")
+	open := map[int]sim.Time{} // cpu -> begin time
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case KindNonPreemptibleBegin:
+			open[e.CPU] = e.At
+		case KindNonPreemptibleEnd:
+			if begin, ok := open[e.CPU]; ok {
+				h.Record(e.At.Sub(begin))
+				delete(open, e.CPU)
+			}
+		}
+	}
+	return h
+}
+
+// DurationBucket is one row of the Figure 5 histogram: routines with
+// duration in [Lo, Hi).
+type DurationBucket struct {
+	Lo, Hi sim.Duration
+	Count  uint64
+}
+
+// CensusBuckets buckets a non-preemptible census into the paper's Figure 5
+// ranges (1-5 ms, 5-10 ms, ..., >40 ms).
+func CensusBuckets(h *metrics.Histogram) []DurationBucket {
+	edges := []sim.Duration{
+		1 * sim.Millisecond, 5 * sim.Millisecond, 10 * sim.Millisecond,
+		20 * sim.Millisecond, 30 * sim.Millisecond, 40 * sim.Millisecond,
+		70 * sim.Millisecond,
+	}
+	out := make([]DurationBucket, 0, len(edges)-1)
+	for i := 0; i+1 < len(edges); i++ {
+		out = append(out, DurationBucket{
+			Lo:    edges[i],
+			Hi:    edges[i+1],
+			Count: h.CountBetween(edges[i], edges[i+1]),
+		})
+	}
+	return out
+}
+
+// IPILatencies pairs ipi_send/ipi_deliver events by Arg (a per-IPI id) and
+// returns the delivery latency histogram.
+func (t *Tracer) IPILatencies() *metrics.Histogram {
+	h := metrics.NewHistogram("ipi_latency")
+	sent := map[int64]sim.Time{}
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case KindIPISend:
+			sent[e.Arg] = e.At
+		case KindIPIDeliver:
+			if at, ok := sent[e.Arg]; ok {
+				h.Record(e.At.Sub(at))
+				delete(sent, e.Arg)
+			}
+		}
+	}
+	return h
+}
+
+// PacketStage summarizes the mean residency of packets in each pipeline
+// stage — the Figure 6 breakdown.
+type PacketStage struct {
+	Name string
+	Mean sim.Duration
+	N    uint64
+}
+
+// PacketBreakdown pairs packet lifecycle events by packet id (Arg) and
+// computes per-stage means: arrive→preprocessed, preprocessed→delivered,
+// delivered→processed.
+func (t *Tracer) PacketBreakdown() []PacketStage {
+	type times struct {
+		arrive, pre, deliver, done sim.Time
+		has                        [4]bool
+	}
+	pkts := map[int64]*times{}
+	get := func(id int64) *times {
+		p, ok := pkts[id]
+		if !ok {
+			p = &times{}
+			pkts[id] = p
+		}
+		return p
+	}
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case KindPacketArrive:
+			p := get(e.Arg)
+			p.arrive, p.has[0] = e.At, true
+		case KindPacketPreprocessDone:
+			p := get(e.Arg)
+			p.pre, p.has[1] = e.At, true
+		case KindPacketDelivered:
+			p := get(e.Arg)
+			p.deliver, p.has[2] = e.At, true
+		case KindPacketProcessed:
+			p := get(e.Arg)
+			p.done, p.has[3] = e.At, true
+		}
+	}
+	var sums [3]float64
+	var ns [3]uint64
+	for _, p := range pkts {
+		if p.has[0] && p.has[1] {
+			sums[0] += float64(p.pre.Sub(p.arrive))
+			ns[0]++
+		}
+		if p.has[1] && p.has[2] {
+			sums[1] += float64(p.deliver.Sub(p.pre))
+			ns[1]++
+		}
+		if p.has[2] && p.has[3] {
+			sums[2] += float64(p.done.Sub(p.deliver))
+			ns[2]++
+		}
+	}
+	names := []string{"preprocess", "transfer", "dp_processing"}
+	out := make([]PacketStage, 3)
+	for i := range out {
+		out[i] = PacketStage{Name: names[i], N: ns[i]}
+		if ns[i] > 0 {
+			out[i].Mean = sim.Duration(sums[i] / float64(ns[i]))
+		}
+	}
+	return out
+}
+
+// ExitReasonCounts tallies VM-exit events by their Note field (the exit
+// reason string emitted by the vCPU model).
+func (t *Tracer) ExitReasonCounts() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, e := range t.Events() {
+		if e.Kind == KindVMExit {
+			out[e.Note]++
+		}
+	}
+	return out
+}
+
+// Timeline renders events in [from, to] as one line each — used by
+// examples/coscheduling to show the Figure 4 spike anatomy.
+func (t *Tracer) Timeline(from, to sim.Time) string {
+	var b strings.Builder
+	evs := t.Events()
+	sorted := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		if e.At >= from && e.At <= to {
+			sorted = append(sorted, e)
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "%12v cpu%-2d %-16s arg=%-6d %s\n", e.At, e.CPU, e.Kind, e.Arg, e.Note)
+	}
+	return b.String()
+}

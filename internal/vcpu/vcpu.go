@@ -1,0 +1,297 @@
+// Package vcpu provides hardware-assisted virtual CPU contexts on top of
+// kernel logical CPUs: costed VM-entry/VM-exit transitions, preemption
+// timers (the vCPU time slice), halt/wake semantics, and posted-interrupt
+// injection. It models the VT-x-style capability envelope the paper
+// relies on (§2.1, §3.4): a vCPU can be interrupted at *any* instant by an
+// external event — even inside a guest non-preemptible routine — at a cost
+// of roughly two microseconds.
+//
+// The policy of *when* to enter and exit vCPUs lives in internal/core
+// (Tai Chi's vCPU scheduler) and internal/baseline; this package supplies
+// only the mechanics.
+package vcpu
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ExitReason says why a VM-exit happened. The Tai Chi scheduler drives its
+// adaptive time slice and adaptive yield threshold off this (§4.1, §4.3).
+type ExitReason uint8
+
+// Exit reasons.
+const (
+	// ExitTimer: the vCPU preemption timer (time slice) expired.
+	ExitTimer ExitReason = iota
+	// ExitProbe: the hardware workload probe demanded the core back.
+	ExitProbe
+	// ExitHalt: the guest went idle (HLT).
+	ExitHalt
+	// ExitIPI: an interrupt for the vCPU could not be posted and forced an
+	// exit (posted interrupts disabled).
+	ExitIPI
+	// ExitForced: the host scheduler revoked the core for its own reasons
+	// (e.g. lock-rescue migration).
+	ExitForced
+)
+
+// String names the exit reason; these strings appear in traces.
+func (r ExitReason) String() string {
+	switch r {
+	case ExitTimer:
+		return "timer"
+	case ExitProbe:
+		return "probe"
+	case ExitHalt:
+		return "halt"
+	case ExitIPI:
+		return "ipi"
+	case ExitForced:
+		return "forced"
+	}
+	return fmt.Sprintf("exit(%d)", uint8(r))
+}
+
+// State is the vCPU lifecycle state.
+type State uint8
+
+// vCPU states.
+const (
+	// StateHalted: guest idle; not schedulable until woken by an interrupt.
+	StateHalted State = iota
+	// StateReady: runnable, awaiting a physical core.
+	StateReady
+	// StateEntering: VM-entry in progress on a core.
+	StateEntering
+	// StateRunning: executing on a core.
+	StateRunning
+	// StateExiting: VM-exit in progress; the core is still occupied.
+	StateExiting
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateHalted:
+		return "halted"
+	case StateReady:
+		return "ready"
+	case StateEntering:
+		return "entering"
+	case StateRunning:
+		return "running"
+	case StateExiting:
+		return "exiting"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Costs is the virtualization cost model.
+type Costs struct {
+	// Entry is the VM-entry latency (host decides → guest executes).
+	Entry sim.Duration
+	// Exit is the VM-exit latency (exit event → host regains the core).
+	// The paper's "2 µs scheduling latency" when CP yields to DP (§3.4).
+	Exit sim.Duration
+	// PostedInterrupts, when true, lets interrupts be injected into a
+	// running vCPU without a VM-exit (§5).
+	PostedInterrupts bool
+}
+
+// DefaultCosts mirrors the paper's measurements.
+func DefaultCosts() Costs {
+	return Costs{
+		Entry:            1 * sim.Microsecond,
+		Exit:             2 * sim.Microsecond,
+		PostedInterrupts: true,
+	}
+}
+
+// VCPU is one virtual CPU context bound 1:1 to a kernel logical CPU.
+type VCPU struct {
+	cpu    *kernel.CPU
+	kern   *kernel.Kernel
+	engine *sim.Engine
+	costs  Costs
+	tracer *trace.Tracer
+
+	state      State
+	core       int // physical core backing the vCPU, -1 when none
+	sliceTimer *sim.Event
+	exitCb     func(v *VCPU, reason ExitReason)
+
+	// OnWake fires when an interrupt wakes a halted vCPU; the scheduler
+	// uses it to move the vCPU into its runnable queue.
+	OnWake func(v *VCPU)
+
+	// Stats.
+	Entries     uint64
+	Exits       uint64
+	ExitsByWhy  [5]uint64
+	ForcedPosts uint64 // interrupts delivered via posted-interrupt fast path
+}
+
+// New wraps the kernel CPU (which must be virtual) as a vCPU context.
+func New(k *kernel.Kernel, cpu *kernel.CPU, costs Costs, tracer *trace.Tracer) *VCPU {
+	if !cpu.Virtual {
+		panic(fmt.Sprintf("vcpu: cpu%d is not virtual", cpu.ID))
+	}
+	v := &VCPU{
+		cpu:    cpu,
+		kern:   k,
+		engine: k.Engine(),
+		costs:  costs,
+		tracer: tracer,
+		state:  StateHalted,
+		core:   -1,
+	}
+	// Guest idle → HLT → exit and free the core.
+	cpu.OnIdle = func(*kernel.CPU) {
+		if v.state == StateRunning {
+			v.beginExit(ExitHalt)
+		}
+	}
+	return v
+}
+
+// CPU returns the underlying kernel logical CPU.
+func (v *VCPU) CPU() *kernel.CPU { return v.cpu }
+
+// ID returns the logical CPU id.
+func (v *VCPU) ID() kernel.CPUID { return v.cpu.ID }
+
+// State returns the lifecycle state.
+func (v *VCPU) State() State { return v.state }
+
+// Core returns the backing physical core, or -1.
+func (v *VCPU) Core() int { return v.core }
+
+// Runnable reports whether the vCPU wants a core (ready, or halted with
+// pending guest work).
+func (v *VCPU) Runnable() bool { return v.state == StateReady }
+
+// MarkReady transitions a halted vCPU to ready without an interrupt —
+// used at registration time once the boot sequence completes.
+func (v *VCPU) MarkReady() {
+	if v.state == StateHalted {
+		v.state = StateReady
+	}
+}
+
+// Enter performs VM-entry on the given physical core. After the entry
+// cost elapses the guest resumes exactly where it froze. slice arms the
+// preemption timer (0 = no timer). onExit is invoked once per Enter, when
+// the vCPU has fully exited and the core is free again.
+func (v *VCPU) Enter(core int, slice sim.Duration, onExit func(v *VCPU, reason ExitReason)) {
+	if v.state != StateReady {
+		panic(fmt.Sprintf("vcpu %d: Enter in state %v", v.cpu.ID, v.state))
+	}
+	v.state = StateEntering
+	v.core = core
+	v.exitCb = onExit
+	v.Entries++
+	v.tracer.Emit(v.engine.Now(), trace.KindVMEntry, core, int64(v.cpu.ID), "")
+	v.engine.Schedule(v.costs.Entry, func() {
+		if v.state != StateEntering {
+			return // revoked mid-entry
+		}
+		v.state = StateRunning
+		if slice > 0 {
+			v.sliceTimer = v.engine.Schedule(slice, func() {
+				v.sliceTimer = nil
+				if v.state == StateRunning {
+					v.beginExit(ExitTimer)
+				}
+			})
+		}
+		v.cpu.PowerOn()
+	})
+}
+
+// ForceExit demands an immediate VM-exit with the given reason. It is
+// the hardware workload probe's IRQ path (reason=ExitProbe) and the
+// scheduler's revocation path (reason=ExitForced). No-op unless running.
+func (v *VCPU) ForceExit(reason ExitReason) {
+	switch v.state {
+	case StateRunning:
+		v.beginExit(reason)
+	case StateEntering:
+		// Revoke mid-entry: cheap, guest never resumed.
+		v.state = StateReady
+		v.core = -1
+		cb := v.exitCb
+		v.exitCb = nil
+		if cb != nil {
+			cb(v, reason)
+		}
+	}
+}
+
+// beginExit starts the costed VM-exit transition.
+func (v *VCPU) beginExit(reason ExitReason) {
+	if v.state != StateRunning {
+		return
+	}
+	v.state = StateExiting
+	if v.sliceTimer != nil {
+		v.sliceTimer.Cancel()
+		v.sliceTimer = nil
+	}
+	v.cpu.PowerOff()
+	v.Exits++
+	v.ExitsByWhy[reason]++
+	v.tracer.Emit(v.engine.Now(), trace.KindVMExit, v.core, int64(v.cpu.ID), reason.String())
+	v.engine.Schedule(v.costs.Exit, func() {
+		v.core = -1
+		if reason == ExitHalt {
+			v.state = StateHalted
+		} else {
+			v.state = StateReady
+		}
+		cb := v.exitCb
+		v.exitCb = nil
+		if cb != nil {
+			cb(v, reason)
+		}
+	})
+}
+
+// InjectInterrupt delivers an interrupt to the vCPU. Semantics follow the
+// unified IPI orchestrator's destination phase (§4.2, Figure 8b):
+//
+//   - running + posted interrupts: direct injection, no VM-exit;
+//   - running without posted interrupts: a forced ExitIPI, then delivery
+//     (the deliver callback runs immediately; the guest handles it when
+//     rescheduled);
+//   - ready (runnable, unbacked): the interrupt posts; the kernel CPU
+//     drains it at the next PowerOn;
+//   - halted: the vCPU wakes (OnWake) and the interrupt posts.
+func (v *VCPU) InjectInterrupt(deliver func()) {
+	switch v.state {
+	case StateRunning:
+		if v.costs.PostedInterrupts {
+			v.ForcedPosts++
+			deliver()
+			return
+		}
+		v.beginExit(ExitIPI)
+		deliver()
+	case StateEntering, StateExiting, StateReady:
+		deliver()
+	case StateHalted:
+		v.state = StateReady
+		deliver()
+		if v.OnWake != nil {
+			v.OnWake(v)
+		}
+	}
+}
+
+// InNonPreemptibleSection reports whether the guest is inside a
+// non-preemptible routine (spinlock or SegNonPreempt) — the lock-rescue
+// trigger (§4.1).
+func (v *VCPU) InNonPreemptibleSection() bool { return v.cpu.InNonPreemptibleSection() }

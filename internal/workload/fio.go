@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// FioConfig parameterizes the fio storage benchmark (Table 3: 16 threads,
+// libaio, 4 KB blocks).
+type FioConfig struct {
+	// Jobs is the number of fio worker threads.
+	Jobs int
+	// IODepth is the async queue depth each job sustains.
+	IODepth int
+	// PerOpWork is the storage-DP software cost of one 4 KB command.
+	PerOpWork sim.Duration
+	// BackendLatency is the media/backend service time after DP
+	// processing (NVMe-oF hop, flash program, etc.).
+	BackendLatency sim.Duration
+	// BlockBytes sizes bandwidth reporting.
+	BlockBytes int
+}
+
+// DefaultFio mirrors Table 3's fio_rw case.
+func DefaultFio() FioConfig {
+	return FioConfig{
+		Jobs:           16,
+		IODepth:        8,
+		PerOpWork:      3500 * sim.Nanosecond,
+		BackendLatency: 20 * sim.Microsecond,
+		BlockBytes:     4096,
+	}
+}
+
+// Fio is the running storage benchmark.
+type Fio struct {
+	cfg  FioConfig
+	node *platform.Node
+	r    *rand.Rand
+
+	Ops       *metrics.Counter
+	Latency   *metrics.Histogram
+	startedAt sim.Time
+	stopped   bool
+}
+
+// NewFio builds the benchmark.
+func NewFio(node *platform.Node, cfg FioConfig) *Fio {
+	return &Fio{
+		cfg:     cfg,
+		node:    node,
+		r:       node.Stream("fio"),
+		Ops:     metrics.NewCounter("fio.ops"),
+		Latency: metrics.NewHistogram("fio.latency"),
+	}
+}
+
+// Start launches every job's async queue.
+func (f *Fio) Start() {
+	f.startedAt = f.node.Now()
+	for j := 0; j < f.cfg.Jobs; j++ {
+		for d := 0; d < f.cfg.IODepth; d++ {
+			job := j
+			f.node.Engine.Schedule(sim.Duration(f.r.Int63n(int64(30*sim.Microsecond))+1), func() {
+				f.issue(job)
+			})
+		}
+	}
+}
+
+// Stop freezes the benchmark.
+func (f *Fio) Stop() { f.stopped = true }
+
+func (f *Fio) issue(job int) {
+	if f.stopped {
+		return
+	}
+	start := f.node.Now()
+	f.node.InjectStor(job, f.cfg.PerOpWork, func(_ *accel.Packet, at sim.Time) {
+		// The DP forwarded the command; completion comes back after the
+		// backend's service time.
+		f.node.Engine.Schedule(f.cfg.BackendLatency, func() {
+			f.Ops.Inc()
+			f.Latency.Record(f.node.Now().Sub(start))
+			if !f.stopped {
+				f.issue(job)
+			}
+		})
+	})
+}
+
+// IOPS returns completed operations per second over the run.
+func (f *Fio) IOPS(now sim.Time) float64 {
+	return f.Ops.RatePerSecond(now.Sub(f.startedAt))
+}
+
+// BandwidthMBps returns throughput in MB/s.
+func (f *Fio) BandwidthMBps(now sim.Time) float64 {
+	return f.IOPS(now) * float64(f.cfg.BlockBytes) / 1e6
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Phaser gates a closed-loop workload into on/off bursts, reproducing the
+// duty-cycled arrival pattern of production traffic (requests arrive in
+// trains with sub-millisecond quiet gaps between them). The quiet gaps
+// are what let Tai Chi's software probe detect idleness and lend the core
+// out — and what make the paper's §6.5 cache/TLB-pollution overhead
+// (0.5-2%) observable at all: under gapless saturation no yield ever
+// happens and Tai Chi measures identical to the baseline.
+type Phaser struct {
+	engine  *sim.Engine
+	r       *rand.Rand
+	on, off sim.Duration
+	isOn    bool
+	waiters []func()
+}
+
+// NewPhaser starts a phaser with the given on/off dwell times (±20%
+// jitter per phase). It begins in the on phase.
+func NewPhaser(engine *sim.Engine, r *rand.Rand, on, off sim.Duration) *Phaser {
+	p := &Phaser{engine: engine, r: r, on: on, off: off, isOn: true}
+	p.schedule()
+	return p
+}
+
+func (p *Phaser) schedule() {
+	d := p.on
+	if !p.isOn {
+		d = p.off
+	}
+	p.engine.Schedule(sim.Jitter(p.r, d, 0.2), func() {
+		p.isOn = !p.isOn
+		if p.isOn {
+			ws := p.waiters
+			p.waiters = nil
+			for _, w := range ws {
+				w()
+			}
+		}
+		p.schedule()
+	})
+}
+
+// On reports whether the workload may issue right now.
+func (p *Phaser) On() bool { return p == nil || p.isOn }
+
+// Do runs fn immediately during an on phase, or defers it to the next
+// on edge. A nil Phaser runs everything immediately (no gating).
+func (p *Phaser) Do(fn func()) {
+	if p == nil || p.isOn {
+		fn()
+		return
+	}
+	p.waiters = append(p.waiters, fn)
+}

@@ -1,0 +1,102 @@
+// Package taichi is the public facade of this repository's reproduction
+// of "Tai Chi: A General High-Efficiency Scheduling Framework for
+// SmartNICs in Hyperscale Clouds" (SOSP 2025).
+//
+// Tai Chi co-schedules control-plane (CP) tasks and data-plane (DP)
+// services on a SmartNIC through hybrid virtualization: CP tasks run on
+// virtual CPUs registered as native CPUs of the single SmartNIC OS, idle
+// DP cores lend themselves out at microsecond granularity, and a
+// hardware workload probe in the I/O accelerator reclaims a lent core
+// *before* the packet that needs it finishes preprocessing — hiding the
+// 2 µs VM-exit inside the 3.2 µs preprocessing window.
+//
+// Because the paper's substrate (a production SmartNIC and a Linux
+// kernel module) is not reproducible in a portable library, the whole
+// system runs inside a deterministic nanosecond-resolution discrete-event
+// simulation; see DESIGN.md for the substitution argument. The simulation
+// is exact and repeatable: same seed, same results.
+//
+// # Quick start
+//
+//	node := taichi.New(42)                  // assembled SmartNIC with Tai Chi
+//	node.SpawnCP("job", myProgram)          // deploy an unmodified CP task
+//	node.Run(taichi.Seconds(1))             // advance simulated time
+//
+// The examples/ directory contains runnable scenarios, cmd/taichi-bench
+// regenerates every table and figure of the paper, and EXPERIMENTS.md
+// records paper-versus-measured numbers.
+package taichi
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// System is a fully assembled Tai Chi node: platform (accelerator, DP
+// services, kernel) plus the hybrid-virtualization scheduler.
+type System = core.TaiChi
+
+// Config is the Tai Chi configuration surface (vCPU pool size, adaptive
+// time slice, workload-probe tuning, lock rescue).
+type Config = core.Config
+
+// Options configures the underlying platform (topology, cost models,
+// hardware probe).
+type Options = platform.Options
+
+// StaticBaseline is the production static-partitioning deployment the
+// paper compares against.
+type StaticBaseline = baseline.Static
+
+// Scale selects experiment runtime (Quick for smoke runs, Full for the
+// recorded numbers).
+type Scale = experiments.Scale
+
+// Result is one experiment's rendered tables, series and raw values.
+type Result = experiments.Result
+
+// Experiment couples an experiment id with its harness.
+type Experiment = experiments.Named
+
+// Quick and Full are the standard experiment scales.
+var (
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+// New builds a production-like Tai Chi node with default topology
+// (4 net + 4 storage + 4 CP cores, 8 vCPUs) and cost models.
+func New(seed int64) *System { return core.NewDefault(seed) }
+
+// NewWithConfig builds a Tai Chi node from explicit platform options and
+// scheduler configuration.
+func NewWithConfig(opts Options, cfg Config) *System {
+	return core.New(platform.NewNode(opts), cfg)
+}
+
+// NewStatic builds the static-partitioning baseline node.
+func NewStatic(seed int64) *StaticBaseline { return baseline.NewStaticDefault(seed) }
+
+// DefaultOptions returns the calibrated platform defaults (Table 4
+// hardware shape, Figure 6 accelerator timing).
+func DefaultOptions() Options { return platform.DefaultOptions() }
+
+// DefaultConfig returns the paper's Tai Chi tuning (50 µs initial slice,
+// adaptive yield, lock rescue, posted interrupts).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Experiments returns every table/figure harness in paper order.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// ExperimentByID returns one harness ("fig11", "table5", ...), or nil.
+func ExperimentByID(id string) *Experiment { return experiments.ByID(id) }
+
+// Seconds converts seconds of simulated time to a sim.Time instant.
+func Seconds(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+
+// Milliseconds converts milliseconds of simulated time to a sim.Time
+// instant.
+func Milliseconds(ms float64) sim.Time { return sim.Time(ms * float64(sim.Millisecond)) }
