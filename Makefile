@@ -1,0 +1,33 @@
+# Development gate for the Tai Chi reproduction.
+#
+# `make check` is the pre-commit bar: formatting, vet, build, and the
+# full test suite under the race detector. The race detector is
+# load-bearing — fleet members and experiment harnesses run concurrently
+# (internal/fleet worker pool), so a data race is a correctness bug, not
+# a style issue. See README.md "Performance".
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper artifact plus the fleet speedup pair.
+bench:
+	$(GO) test -bench=. -benchmem

@@ -8,6 +8,7 @@
 package taichi_test
 
 import (
+	"runtime"
 	"testing"
 
 	taichi "repro"
@@ -31,6 +32,24 @@ func runExperiment(b *testing.B, id string, metricKeys ...string) {
 		}
 	}
 }
+
+// benchFig03Workers runs the fleet-backed Figure 3 harness at a fixed
+// worker-pool size. Comparing the Sequential and Parallel variants below
+// measures the wall-clock speedup of the parallel fleet runner; their
+// rendered output is byte-identical (see TestExperimentParallelDeterminism).
+func benchFig03Workers(b *testing.B, workers int) {
+	b.Helper()
+	exp := taichi.ExperimentByID("fig3")
+	scale := taichi.Quick
+	scale.Workers = workers
+	for i := 0; i < b.N; i++ {
+		exp.Run(scale)
+	}
+}
+
+func BenchmarkFleet_Fig03Sequential(b *testing.B) { benchFig03Workers(b, 1) }
+
+func BenchmarkFleet_Fig03Parallel(b *testing.B) { benchFig03Workers(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkFig02_MotivationDensity(b *testing.B) {
 	runExperiment(b, "fig2", "startup_norm_4x", "cp_exec_ms_4x")

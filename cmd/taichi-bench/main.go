@@ -5,10 +5,14 @@
 //	taichi-bench                 # run every experiment at full scale
 //	taichi-bench -quick          # quarter-scale smoke run
 //	taichi-bench -exp fig11,table5
+//	taichi-bench -parallel 8     # worker-pool size (default GOMAXPROCS)
 //	taichi-bench -list
 //
 // Output is plain text: one section per experiment with the same rows
-// and series the paper reports. EXPERIMENTS.md records a reference run.
+// and series the paper reports, printed in registry order regardless of
+// the pool size. Experiments are independent deterministic simulations,
+// so -parallel changes wall-clock time only, never a single output byte
+// (see ARCHITECTURE.md §5). EXPERIMENTS.md records a reference run.
 package main
 
 import (
@@ -16,17 +20,28 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	taichi "repro"
 )
 
+// outcome is one experiment's buffered output, handed from the worker
+// pool to the in-order printer.
+type outcome struct {
+	text string
+	wall time.Duration
+	errs []string
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at quarter scale (fast smoke run)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exps := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	jsonDir := flag.String("json", "", "also write per-experiment JSON results into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for experiments and fleet members (1 = sequential; output is identical either way)")
 	flag.Parse()
 
 	if *jsonDir != "" {
@@ -47,6 +62,9 @@ func main() {
 	if *quick {
 		scale = taichi.Quick
 	}
+	// Thread the pool size into the harnesses too, so fleet members and
+	// density sweeps inside one experiment fan out as well.
+	scale.Workers = *parallel
 
 	var selected []taichi.Experiment
 	if *exps == "" {
@@ -63,20 +81,54 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Tai Chi reproduction bench — %d experiment(s), scale=%s\n\n", len(selected), scale.Label)
-	for _, e := range selected {
-		start := time.Now()
-		res := e.Run(scale)
-		fmt.Print(res.Render())
-		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
-		if *jsonDir != "" {
-			data, err := res.JSON()
-			if err == nil {
-				err = os.WriteFile(filepath.Join(*jsonDir, e.ID+".json"), data, 0o644)
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	fmt.Printf("Tai Chi reproduction bench — %d experiment(s), scale=%s, workers=%d\n\n",
+		len(selected), scale.Label, workers)
+	start := time.Now()
+
+	// Run the selected experiments on a bounded pool; each worker buffers
+	// its experiment's rendered output so the printer below can emit
+	// sections in registry order as they complete.
+	outs := make([]chan outcome, len(selected))
+	for i := range outs {
+		outs[i] = make(chan outcome, 1)
+	}
+	sem := make(chan struct{}, workers)
+	for i, e := range selected {
+		i, e := i, e
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			begin := time.Now()
+			res := e.Run(scale)
+			o := outcome{wall: time.Since(begin)}
+			o.text = res.Render()
+			if *jsonDir != "" {
+				data, err := res.JSON()
+				if err == nil {
+					err = os.WriteFile(filepath.Join(*jsonDir, e.ID+".json"), data, 0o644)
+				}
+				if err != nil {
+					o.errs = append(o.errs, fmt.Sprintf("json export %s: %v", e.ID, err))
+				}
 			}
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "json export %s: %v\n", e.ID, err)
-			}
+			outs[i] <- o
+		}()
+	}
+	for i, e := range selected {
+		o := <-outs[i]
+		fmt.Print(o.text)
+		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, o.wall.Seconds())
+		for _, msg := range o.errs {
+			fmt.Fprintln(os.Stderr, msg)
 		}
 	}
+	fmt.Printf("total: %.1fs wall\n", time.Since(start).Seconds())
 }

@@ -7,9 +7,15 @@
 //	taichi-sim -mode taichi -cp 16 -util 0.3 -dur 5s
 //	taichi-sim -mode static -workload crr -dur 2s
 //	taichi-sim -mode naive -workload ping
+//	taichi-sim -nodes 16 -parallel 8      # fleet of independent nodes
 //
 // Modes: taichi, static, type1, type2, naive.
 // Workloads: none, ping, crr, stream, rr, fio, mysql, nginx.
+//
+// With -nodes N > 1, N independently-seeded copies of the scenario run
+// on a bounded worker pool (internal/fleet) and the merged fleet-wide
+// statistics are printed. Same seed + any -parallel value gives the same
+// output.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -32,6 +39,155 @@ type host interface {
 	SpawnCP(name string, prog kernel.Program) *kernel.Thread
 }
 
+// scenario is one fully-wired node plus its reporting hooks.
+type scenario struct {
+	node  *platform.Node
+	tc    *core.TaiChi
+	tasks []*kernel.Thread
+	// report prints the workload's human-readable result (single-node mode).
+	report func()
+	// collect folds the workload's metrics into fleet aggregates.
+	collect func(agg *fleet.Aggregates)
+}
+
+// build assembles the scenario for one seed; it is run once in
+// single-node mode and once per member in fleet mode.
+func build(mode, wl string, cp int, util float64, seed int64, horizon sim.Duration) (*scenario, error) {
+	sc := &scenario{}
+	var h host
+	switch mode {
+	case "taichi":
+		sc.tc = core.NewDefault(seed)
+		sc.node, h = sc.tc.Node, sc.tc
+	case "static":
+		b := baseline.NewStaticDefault(seed)
+		sc.node, h = b.Node, b
+	case "type1":
+		sc.tc = baseline.NewType1(seed)
+		sc.node, h = sc.tc.Node, sc.tc
+	case "type2":
+		b := baseline.NewType2(seed)
+		sc.node, h = b.Node, b
+	case "naive":
+		sc.tc = baseline.NewNaive(seed)
+		sc.node, h = sc.tc.Node, sc.tc
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	node := sc.node
+
+	// Background DP load.
+	if util > 0 {
+		bg := workload.NewBackground(node, workload.DefaultBackground(util))
+		bg.Start()
+	}
+
+	// CP churn: keep ~cp synth tasks alive.
+	if cp > 0 {
+		cfg := controlplane.DefaultSynthCP()
+		r := node.Stream("sim.cp")
+		var churn func(i int)
+		churn = func(i int) {
+			sc.tasks = append(sc.tasks, h.SpawnCP(fmt.Sprintf("synth%d", i), controlplane.SynthCP(cfg, r)))
+			node.Engine.Schedule(sim.Exponential(r, sim.Duration(float64(50*sim.Millisecond)/float64(cp))), func() { churn(i + 1) })
+		}
+		churn(0)
+	}
+
+	// Foreground benchmark.
+	switch wl {
+	case "none":
+		sc.report = func() {}
+		sc.collect = func(*fleet.Aggregates) {}
+	case "ping":
+		cfg := workload.DefaultPing()
+		cfg.Count = int(horizon / cfg.Interval)
+		p := workload.NewPing(node, cfg)
+		p.Start(nil)
+		sc.report = func() { fmt.Println(p.RTT.Summarize()) }
+		sc.collect = func(a *fleet.Aggregates) { a.Merge("ping.rtt", p.RTT) }
+	case "crr":
+		c := workload.NewCRR(node, workload.DefaultCRR())
+		c.Start()
+		sc.report = func() {
+			fmt.Printf("crr: %.0f conn/s, %.0f pkt/s, lat %v p99 %v\n",
+				c.CPS(node.Now()), c.PPS(node.Now()),
+				c.TxnLatency.Mean(), c.TxnLatency.Quantile(0.99))
+		}
+		sc.collect = func(a *fleet.Aggregates) {
+			a.Merge("crr.txn_latency", c.TxnLatency)
+			a.Add("crr.cps", c.CPS(node.Now()))
+			a.Add("crr.pps", c.PPS(node.Now()))
+		}
+	case "stream":
+		s := workload.NewStream(node, workload.DefaultStream())
+		s.Start()
+		sc.report = func() {
+			fmt.Printf("stream: %.0f pkt/s, lat %v p99 %v\n",
+				s.PPS(node.Now()), s.Latency.Mean(), s.Latency.Quantile(0.99))
+		}
+		sc.collect = func(a *fleet.Aggregates) {
+			a.Merge("stream.latency", s.Latency)
+			a.Add("stream.pps", s.PPS(node.Now()))
+		}
+	case "rr":
+		r := workload.NewRR(node, workload.DefaultRR())
+		r.Start()
+		sc.report = func() {
+			fmt.Printf("rr: %.0f pkt/s, lat %v p99 %v\n",
+				r.PPS(node.Now()), r.Latency.Mean(), r.Latency.Quantile(0.99))
+		}
+		sc.collect = func(a *fleet.Aggregates) {
+			a.Merge("rr.latency", r.Latency)
+			a.Add("rr.pps", r.PPS(node.Now()))
+		}
+	case "fio":
+		f := workload.NewFio(node, workload.DefaultFio())
+		f.Start()
+		sc.report = func() {
+			fmt.Printf("fio: %.0f IOPS, %.1f MB/s, lat %v p99 %v\n",
+				f.IOPS(node.Now()), f.BandwidthMBps(node.Now()),
+				f.Latency.Mean(), f.Latency.Quantile(0.99))
+		}
+		sc.collect = func(a *fleet.Aggregates) {
+			a.Merge("fio.latency", f.Latency)
+			a.Add("fio.iops", f.IOPS(node.Now()))
+			a.Add("fio.bw_mbps", f.BandwidthMBps(node.Now()))
+		}
+	case "mysql":
+		m := workload.NewMySQL(node, workload.DefaultMySQL())
+		m.Start()
+		sc.report = func() {
+			fmt.Printf("mysql: %.0f q/s avg, %.0f q/s max, %.0f tx/s\n",
+				m.AvgQPS(node.Now()), m.MaxQPS(), m.AvgTPS(node.Now()))
+		}
+		sc.collect = func(a *fleet.Aggregates) {
+			a.Add("mysql.avg_qps", m.AvgQPS(node.Now()))
+			a.Add("mysql.avg_tps", m.AvgTPS(node.Now()))
+		}
+	case "nginx":
+		n := workload.NewNginx(node, workload.DefaultNginx(false, true))
+		n.Start()
+		sc.report = func() { fmt.Printf("nginx: %.0f req/s\n", n.RPS(node.Now())) }
+		sc.collect = func(a *fleet.Aggregates) { a.Add("nginx.rps", n.RPS(node.Now())) }
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+	return sc, nil
+}
+
+// cpSummary folds the scenario's synth-task outcomes into a histogram.
+func cpSummary(tasks []*kernel.Thread) (done int, h *metrics.Histogram) {
+	h = metrics.NewHistogram("cp.turnaround")
+	for _, t := range tasks {
+		if t.State() == kernel.StateDone {
+			done++
+			h.Record(t.Turnaround())
+		}
+	}
+	return done, h
+}
+
 func main() {
 	mode := flag.String("mode", "taichi", "taichi | static | type1 | type2 | naive")
 	wl := flag.String("workload", "crr", "none | ping | crr | stream | rr | fio | mysql | nginx")
@@ -39,109 +195,23 @@ func main() {
 	util := flag.Float64("util", 0.30, "background DP utilization target")
 	durFlag := flag.Duration("dur", 2*time.Second, "simulated duration")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	nodes := flag.Int("nodes", 1, "independently-seeded nodes running the scenario (fleet mode when > 1)")
+	parallel := flag.Int("parallel", 0, "fleet worker-pool size (0 = GOMAXPROCS; output is identical for any value)")
 	flag.Parse()
-
-	var node *platform.Node
-	var h host
-	var tc *core.TaiChi
-	switch *mode {
-	case "taichi":
-		tc = core.NewDefault(*seed)
-		node, h = tc.Node, tc
-	case "static":
-		b := baseline.NewStaticDefault(*seed)
-		node, h = b.Node, b
-	case "type1":
-		tc = baseline.NewType1(*seed)
-		node, h = tc.Node, tc
-	case "type2":
-		b := baseline.NewType2(*seed)
-		node, h = b.Node, b
-	case "naive":
-		tc = baseline.NewNaive(*seed)
-		node, h = tc.Node, tc
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
 
 	horizon := sim.Duration(durFlag.Nanoseconds())
 
-	// Background DP load.
-	if *util > 0 {
-		bg := workload.NewBackground(node, workload.DefaultBackground(*util))
-		bg.Start()
+	if *nodes > 1 {
+		runFleet(*mode, *wl, *cp, *util, *seed, horizon, *nodes, *parallel)
+		return
 	}
 
-	// CP churn: keep ~cp synth tasks alive.
-	var tasks []*kernel.Thread
-	if *cp > 0 {
-		cfg := controlplane.DefaultSynthCP()
-		r := node.Stream("sim.cp")
-		var churn func(i int)
-		churn = func(i int) {
-			tasks = append(tasks, h.SpawnCP(fmt.Sprintf("synth%d", i), controlplane.SynthCP(cfg, r)))
-			node.Engine.Schedule(sim.Exponential(r, sim.Duration(float64(50*sim.Millisecond)/float64(*cp))), func() { churn(i + 1) })
-		}
-		churn(0)
-	}
-
-	// Foreground benchmark.
-	var report func()
-	switch *wl {
-	case "none":
-		report = func() {}
-	case "ping":
-		cfg := workload.DefaultPing()
-		cfg.Count = int(horizon / cfg.Interval)
-		p := workload.NewPing(node, cfg)
-		p.Start(nil)
-		report = func() { fmt.Println(p.RTT.Summarize()) }
-	case "crr":
-		c := workload.NewCRR(node, workload.DefaultCRR())
-		c.Start()
-		report = func() {
-			fmt.Printf("crr: %.0f conn/s, %.0f pkt/s, lat %v p99 %v\n",
-				c.CPS(node.Now()), c.PPS(node.Now()),
-				c.TxnLatency.Mean(), c.TxnLatency.Quantile(0.99))
-		}
-	case "stream":
-		s := workload.NewStream(node, workload.DefaultStream())
-		s.Start()
-		report = func() {
-			fmt.Printf("stream: %.0f pkt/s, lat %v p99 %v\n",
-				s.PPS(node.Now()), s.Latency.Mean(), s.Latency.Quantile(0.99))
-		}
-	case "rr":
-		r := workload.NewRR(node, workload.DefaultRR())
-		r.Start()
-		report = func() {
-			fmt.Printf("rr: %.0f pkt/s, lat %v p99 %v\n",
-				r.PPS(node.Now()), r.Latency.Mean(), r.Latency.Quantile(0.99))
-		}
-	case "fio":
-		f := workload.NewFio(node, workload.DefaultFio())
-		f.Start()
-		report = func() {
-			fmt.Printf("fio: %.0f IOPS, %.1f MB/s, lat %v p99 %v\n",
-				f.IOPS(node.Now()), f.BandwidthMBps(node.Now()),
-				f.Latency.Mean(), f.Latency.Quantile(0.99))
-		}
-	case "mysql":
-		m := workload.NewMySQL(node, workload.DefaultMySQL())
-		m.Start()
-		report = func() {
-			fmt.Printf("mysql: %.0f q/s avg, %.0f q/s max, %.0f tx/s\n",
-				m.AvgQPS(node.Now()), m.MaxQPS(), m.AvgTPS(node.Now()))
-		}
-	case "nginx":
-		n := workload.NewNginx(node, workload.DefaultNginx(false, true))
-		n.Start()
-		report = func() { fmt.Printf("nginx: %.0f req/s\n", n.RPS(node.Now())) }
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+	sc, err := build(*mode, *wl, *cp, *util, *seed, horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	node := sc.node
 
 	start := time.Now()
 	node.Run(node.Now().Add(horizon))
@@ -149,20 +219,13 @@ func main() {
 
 	fmt.Printf("mode=%s workload=%s simulated=%v wall=%.2fs events=%d\n",
 		*mode, *wl, horizon, wall.Seconds(), node.Engine.Fired())
-	report()
+	sc.report()
 
 	// CP summary.
-	if len(tasks) > 0 {
-		h := metrics.NewHistogram("cp.turnaround")
-		done := 0
-		for _, t := range tasks {
-			if t.State() == kernel.StateDone {
-				done++
-				h.Record(t.Turnaround())
-			}
-		}
+	if len(sc.tasks) > 0 {
+		done, h := cpSummary(sc.tasks)
 		fmt.Printf("cp: %d/%d synth tasks done, turnaround mean %v p99 %v\n",
-			done, len(tasks), h.Mean(), h.Quantile(0.99))
+			done, len(sc.tasks), h.Mean(), h.Quantile(0.99))
 	}
 
 	// DP utilization + Tai Chi internals.
@@ -171,10 +234,42 @@ func main() {
 		fmt.Printf(", stor util %.1f%%", 100*node.Stor.MeanUtilization())
 	}
 	fmt.Println()
-	if tc != nil && tc.Sched != nil {
+	if sc.tc != nil && sc.tc.Sched != nil {
 		fmt.Printf("taichi: yields=%d preempts=%d rotations=%d rescues=%d preempt_lat p99=%v\n",
-			tc.Sched.Yields.Value(), tc.Sched.Preempts.Value(),
-			tc.Sched.Rotations.Value(), tc.Sched.Rescues.Value(),
-			tc.Sched.PreemptLatency.Quantile(0.99))
+			sc.tc.Sched.Yields.Value(), sc.tc.Sched.Preempts.Value(),
+			sc.tc.Sched.Rotations.Value(), sc.tc.Sched.Rescues.Value(),
+			sc.tc.Sched.PreemptLatency.Quantile(0.99))
 	}
+}
+
+// runFleet executes the scenario on n independently-seeded nodes via the
+// bounded worker pool and prints the merged fleet-wide statistics.
+func runFleet(mode, wl string, cp int, util float64, seed int64, horizon sim.Duration, n, workers int) {
+	start := time.Now()
+	agg := fleet.RunWorkers(n, seed, workers, func(idx int, memberSeed int64, a *fleet.Aggregates) {
+		sc, err := build(mode, wl, cp, util, memberSeed, horizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.node.Run(sc.node.Now().Add(horizon))
+		sc.collect(a)
+		done, h := cpSummary(sc.tasks)
+		a.Merge("cp.turnaround", h)
+		a.Add("cp.tasks", float64(len(sc.tasks)))
+		a.Add("cp.done", float64(done))
+		a.Add("events", float64(sc.node.Engine.Fired()))
+		a.Add("dp.net_util", sc.node.Net.MeanUtilization())
+		if sc.node.Stor != nil {
+			a.Add("dp.stor_util", sc.node.Stor.MeanUtilization())
+		}
+	})
+	wall := time.Since(start)
+	fmt.Printf("mode=%s workload=%s nodes=%d simulated=%v wall=%.2fs events=%.0f\n",
+		mode, wl, agg.Members, horizon, wall.Seconds(), agg.Scalar("events"))
+	fmt.Print(agg.Describe())
+	members := float64(agg.Members)
+	fmt.Printf("per-node means: cp done %.1f/%.1f, net util %.1f%%, stor util %.1f%%\n",
+		agg.Scalar("cp.done")/members, agg.Scalar("cp.tasks")/members,
+		100*agg.Scalar("dp.net_util")/members, 100*agg.Scalar("dp.stor_util")/members)
 }

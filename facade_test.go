@@ -51,6 +51,25 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 }
 
+// TestExperimentParallelDeterminism asserts the fleet-backed Figure 3
+// harness renders byte-identical output whether its members run
+// sequentially or on a 2- or 8-worker pool — the user-visible face of the
+// internal/fleet determinism guarantee.
+func TestExperimentParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		scale := taichi.Quick
+		scale.Workers = workers
+		return taichi.ExperimentByID("fig3").Run(scale).Render()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("fig3 output differs between 1 and %d workers:\n--- sequential\n%s--- parallel\n%s",
+				workers, want, got)
+		}
+	}
+}
+
 func TestFacadeTimeHelpers(t *testing.T) {
 	if taichi.Seconds(1) != 1_000_000_000 {
 		t.Fatal("Seconds")

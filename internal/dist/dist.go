@@ -1,11 +1,17 @@
 // Package dist provides the probability distributions used by workload
 // generators and task models: exponential, lognormal, bounded Pareto,
-// empirical piecewise distributions (used to fit the paper's Figure 5
-// non-preemptible-routine census), and a two-state Markov-modulated burst
-// process (used to reproduce the Figure 3 fleet utilization CDF).
+// empirical piecewise distributions, and a two-state Markov-modulated
+// burst process. Each is calibrated against a published quantity: the
+// lognormal's mean/p99 parameterization fits the right-skewed calm-epoch
+// utilization mix behind Figure 3 (30% fleet operating point, §6.2), the
+// empirical piecewise
+// distribution fits the Figure 5 non-preemptible-routine census (94.5%
+// in 1–5 ms, max 67 ms), and the MMPP burst process reproduces the
+// Figure 3 fleet utilization CDF (99.68% of samples below 32.5%).
 //
 // All samplers draw from an explicit *rand.Rand so that callers control
-// determinism via named sim.RNG streams.
+// determinism via named sim.RNG streams — a requirement for the
+// byte-identical parallel fleet runs of internal/fleet.
 package dist
 
 import (

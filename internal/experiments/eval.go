@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/platform"
@@ -443,26 +444,36 @@ func Fig17VMStartup(scale Scale) *Result {
 	series := &metrics.Series{Name: "fig17", XLabel: "density", YLabel: "startup/SLO"}
 	horizon := scale.dur(20 * sim.Second)
 
-	for _, density := range []float64{1, 2, 3, 4} {
-		run := func(taichi bool) float64 {
-			var host cluster.Host
-			var node *platform.Node
-			if taichi {
-				tc := core.NewDefault(1700 + int64(density))
-				host, node = tc, tc.Node
-			} else {
-				b := baseline.NewStaticDefault(1700 + int64(density))
-				host, node = b, b.Node
-			}
-			bg := workload.NewBackground(node, coarseBackground(0.30))
-			bg.Start()
-			mgr := cluster.NewManager(host, cluster.DefaultConfig(density))
-			mgr.Start()
-			node.Run(sim.Time(horizon))
-			return mgr.NormalizedStartup()
+	densities := []float64{1, 2, 3, 4}
+	type pair struct{ static, taichi float64 }
+	pairs := make([]pair, len(densities))
+	// The static/taichi runs at each density are independent simulations;
+	// sweep all of them on the worker pool, then report in density order.
+	fleet.ForEach(2*len(densities), scale.Workers, func(i int) {
+		density := densities[i/2]
+		taichi := i%2 == 1
+		var host cluster.Host
+		var node *platform.Node
+		if taichi {
+			tc := core.NewDefault(1700 + int64(density))
+			host, node = tc, tc.Node
+		} else {
+			b := baseline.NewStaticDefault(1700 + int64(density))
+			host, node = b, b.Node
 		}
-		st := run(false)
-		tch := run(true)
+		bg := workload.NewBackground(node, coarseBackground(0.30))
+		bg.Start()
+		mgr := cluster.NewManager(host, cluster.DefaultConfig(density))
+		mgr.Start()
+		node.Run(sim.Time(horizon))
+		if taichi {
+			pairs[i/2].taichi = mgr.NormalizedStartup()
+		} else {
+			pairs[i/2].static = mgr.NormalizedStartup()
+		}
+	})
+	for i, density := range densities {
+		st, tch := pairs[i].static, pairs[i].taichi
 		imp := st / tch
 		tbl.AddRow(density, st, tch, fmt.Sprintf("%.2fx", imp))
 		series.Add(density, tch)

@@ -27,6 +27,14 @@ type Scale struct {
 	Factor float64
 	// Label annotates output.
 	Label string
+	// Workers bounds the worker pool used by the harnesses that fan out
+	// over independent simulations (the fleet-backed fig3/fig5 and the
+	// fig2/fig17 density sweeps). Zero selects fleet.DefaultWorkers
+	// (GOMAXPROCS); 1 forces sequential execution. The pool size never
+	// changes measured values: every simulation is independently seeded
+	// and results are merged in index order, so output is byte-identical
+	// for any worker count.
+	Workers int
 }
 
 // Quick is the CI-friendly scale.

@@ -28,19 +28,24 @@ func Fig02Motivation(scale Scale) *Result {
 	startupSeries := &metrics.Series{Name: "fig2.startup", XLabel: "density", YLabel: "startup/SLO"}
 	cpSeries := &metrics.Series{Name: "fig2.cp_exec", XLabel: "density", YLabel: "cp exec (ms)"}
 
-	var cpBase float64
-	for _, density := range []float64{1, 2, 3, 4} {
+	densities := []float64{1, 2, 3, 4}
+	type point struct{ norm, cpMs float64 }
+	points := make([]point, len(densities))
+	// Each density is an independent simulation; sweep them on the worker
+	// pool and assemble the table in density order afterwards.
+	fleet.ForEach(len(densities), scale.Workers, func(i int) {
+		density := densities[i]
 		b := baseline.NewStaticDefault(100 + int64(density))
 		bg := workload.NewBackground(b.Node, coarseBackground(0.30))
 		bg.Start()
 		mgr := cluster.NewManager(b, cluster.DefaultConfig(density))
 		mgr.Start()
 		b.Run(sim.Time(scale.dur(20 * sim.Second)))
-		cpMs := mgr.MeanCPExec().Milliseconds()
-		if density == 1 {
-			cpBase = cpMs
-		}
-		norm := mgr.NormalizedStartup()
+		points[i] = point{norm: mgr.NormalizedStartup(), cpMs: mgr.MeanCPExec().Milliseconds()}
+	})
+	cpBase := points[0].cpMs
+	for i, density := range densities {
+		norm, cpMs := points[i].norm, points[i].cpMs
 		tbl.AddRow(density, norm, cpMs, cpMs/cpBase)
 		startupSeries.Add(density, norm)
 		cpSeries.Add(density, cpMs)
@@ -69,7 +74,7 @@ func Fig03UtilizationCDF(scale Scale) *Result {
 	}
 	perNode := scale.dur(30 * sim.Second)
 
-	agg := fleet.Run(members, 303, func(idx int, seed int64, agg *fleet.Aggregates) {
+	agg := fleet.RunWorkers(members, 303, scale.Workers, func(idx int, seed int64, agg *fleet.Aggregates) {
 		opts := platform.DefaultOptions()
 		opts.Seed = seed
 		opts.HWProbe = false
@@ -237,7 +242,7 @@ func Fig05Census(scale Scale) *Result {
 	}
 	horizon := scale.dur(30 * sim.Second)
 
-	agg := fleet.Run(members, 505, func(idx int, seed int64, agg *fleet.Aggregates) {
+	agg := fleet.RunWorkers(members, 505, scale.Workers, func(idx int, seed int64, agg *fleet.Aggregates) {
 		b := baseline.NewStaticDefault(seed)
 		// A production-like mix: monitors and a steady churn of synth tasks.
 		deployMonitors(b, b.Node.Stream, 12)

@@ -2,28 +2,42 @@
 // aggregates their statistics. The paper's production analyses sample
 // whole server fleets — Figure 3's utilization CDF covers hundreds of
 // compute nodes and Figure 5's routine census dozens — so single-node
-// measurements systematically under-represent cross-node variance. Each
-// fleet member gets its own deterministic engine and seed; members run
-// sequentially (the simulation is single-threaded by design) and the
-// caller merges per-node results.
+// measurements systematically under-represent cross-node variance.
+//
+// Each fleet member gets its own deterministic engine and seed. Members
+// are mutually independent simulations (each one is single-threaded by
+// design, see internal/sim), which makes the fleet embarrassingly
+// parallel: Run fans members out across a bounded worker pool
+// (GOMAXPROCS-sized by default, RunWorkers to override). Every member
+// reports into a private *Aggregates; after all workers finish, the
+// private aggregates are folded into the final collector in strict
+// member-index order. Merging is therefore performed in exactly the same
+// order for every worker count, so the result is byte-identical whether
+// the fleet ran on 1 worker or 64 — the determinism contract the
+// experiment harnesses and EXPERIMENTS.md rely on.
 package fleet
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 
 	"repro/internal/metrics"
 )
 
 // Member is one node's driver: build the node and run it to the horizon,
-// then report into the shared aggregates. The build/drive split keeps
-// member construction deterministic per seed.
+// then report into the member's private aggregates. The build/drive split
+// keeps member construction deterministic per seed. A Member must not
+// share mutable state with other members — it may run concurrently with
+// them.
 type Member func(idx int, seed int64, agg *Aggregates)
 
 // Aggregates collects fleet-wide statistics.
 type Aggregates struct {
-	// Hist holds named histograms merged across members.
+	// hist holds named histograms merged across members.
 	hist map[string]*metrics.Histogram
-	// Scalars accumulates named sums (e.g. total packets).
+	// scalars accumulates named sums (e.g. total packets).
 	scalars map[string]float64
 	// Members is the number of nodes that reported.
 	Members int
@@ -56,30 +70,112 @@ func (a *Aggregates) Add(name string, v float64) { a.scalars[name] += v }
 // Scalar returns an accumulated value.
 func (a *Aggregates) Scalar(name string) float64 { return a.scalars[name] }
 
-// Run executes n members sequentially with seeds derived from baseSeed
-// and returns the merged aggregates. Seeds are spread so members are
-// statistically independent but the whole fleet run stays reproducible.
+// MergeFrom folds every histogram, scalar, and the member count of o into
+// a. Names are visited in sorted order so that repeated merges perform
+// float additions in a reproducible sequence.
+func (a *Aggregates) MergeFrom(o *Aggregates) {
+	for _, name := range metrics.SortedKeys(o.hist) {
+		a.Histogram(name).Merge(o.hist[name])
+	}
+	for _, name := range metrics.SortedKeys(o.scalars) {
+		a.scalars[name] += o.scalars[name]
+	}
+	a.Members += o.Members
+}
+
+// MemberSeed derives member idx's seed from the fleet base seed. Seeds
+// are spread so members are statistically independent but the whole fleet
+// run stays reproducible.
+func MemberSeed(baseSeed int64, idx int) int64 {
+	return baseSeed + int64(idx)*1_000_003
+}
+
+// DefaultWorkers is the worker-pool size used when the caller does not
+// specify one: the number of CPUs the Go runtime may use.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes n members on the default-sized worker pool and returns the
+// merged aggregates. Output is identical for every pool size; see
+// RunWorkers.
 func Run(n int, baseSeed int64, member Member) *Aggregates {
+	return RunWorkers(n, baseSeed, 0, member)
+}
+
+// RunWorkers executes n members on a bounded pool of the given size
+// (<= 0 selects DefaultWorkers) and returns the merged aggregates.
+//
+// Each member writes into a private *Aggregates; after the pool drains,
+// the private aggregates are merged in member-index order. Because both
+// the per-member seeds and the merge order are independent of scheduling,
+// the result is byte-identical for any worker count.
+func RunWorkers(n int, baseSeed int64, workers int, member Member) *Aggregates {
 	if n <= 0 {
 		panic("fleet: need at least one member")
 	}
-	agg := NewAggregates()
-	for i := 0; i < n; i++ {
-		seed := baseSeed + int64(i)*1_000_003
-		member(i, seed, agg)
+	parts := make([]*Aggregates, n)
+	ForEach(n, workers, func(i int) {
+		agg := NewAggregates()
+		member(i, MemberSeed(baseSeed, i), agg)
 		agg.Members++
+		parts[i] = agg
+	})
+	total := NewAggregates()
+	for _, p := range parts {
+		total.MergeFrom(p)
 	}
-	return agg
+	return total
 }
 
-// Describe renders the fleet aggregates, for debugging harnesses.
+// ForEach runs fn(0..n-1) on a bounded worker pool (<= 0 selects
+// DefaultWorkers) and returns when every call has finished. It is the
+// fan-out primitive behind RunWorkers, also used directly by the
+// experiment harnesses for independent parameter sweeps (the Figure 2 and
+// Figure 17 density sweeps). fn must confine its writes to per-index
+// state (e.g. its slot of a pre-sized results slice).
+func ForEach(n, workers int, fn func(idx int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Describe renders the fleet aggregates deterministically (names sorted),
+// for debugging harnesses and the determinism regression tests.
 func (a *Aggregates) Describe() string {
-	out := fmt.Sprintf("fleet aggregates over %d members\n", a.Members)
-	for name, h := range a.hist {
-		out += fmt.Sprintf("  %s: %s\n", name, h.Summarize())
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet aggregates over %d members\n", a.Members)
+	for _, name := range metrics.SortedKeys(a.hist) {
+		fmt.Fprintf(&b, "  %s\n", a.hist[name].Summarize())
 	}
-	for name, v := range a.scalars {
-		out += fmt.Sprintf("  %s = %g\n", name, v)
+	for _, name := range metrics.SortedKeys(a.scalars) {
+		fmt.Fprintf(&b, "  %s = %g\n", name, a.scalars[name])
 	}
-	return out
+	return b.String()
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -42,6 +43,81 @@ func TestSeedsDistinctAndDeterministic(t *testing.T) {
 				t.Fatal("duplicate member seeds")
 			}
 		}
+	}
+}
+
+// demoMember does enough randomized per-member work — multiple
+// histograms, multiple scalars, all derived from the member seed — that
+// any ordering or data-race bug in the pool shows up in the rendered
+// aggregates.
+func demoMember(idx int, seed int64, a *Aggregates) {
+	r := rand.New(rand.NewSource(seed))
+	lat := metrics.NewHistogram("lat")
+	for i := 0; i < 2000; i++ {
+		lat.Record(sim.Duration(r.Intn(5_000_000)))
+	}
+	a.Merge("lat", lat)
+	a.Histogram("direct").Record(sim.Duration(idx+1) * sim.Microsecond)
+	a.Add("packets", float64(r.Intn(1000)))
+	a.Add("bytes", r.Float64()*1e9)
+}
+
+// TestParallelDeterminism is the determinism regression test: fleet
+// output (histogram summaries + scalars, rendered deterministically) must
+// be byte-identical for worker counts 1, 2 and 8 across several seeds.
+func TestParallelDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 99, 2024} {
+		want := RunWorkers(9, seed, 1, demoMember).Describe()
+		for _, workers := range []int{2, 8} {
+			got := RunWorkers(9, seed, workers, demoMember).Describe()
+			if got != want {
+				t.Fatalf("seed %d workers %d: parallel output diverged from sequential\n--- sequential\n%s--- parallel\n%s",
+					seed, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestRunMatchesRunWorkers pins Run to the default pool: same seeds, same
+// merged output as an explicit sequential run.
+func TestRunMatchesRunWorkers(t *testing.T) {
+	if got, want := Run(5, 7, demoMember).Describe(), RunWorkers(5, 7, 1, demoMember).Describe(); got != want {
+		t.Fatalf("Run diverged from sequential RunWorkers:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		out := make([]int, 40)
+		ForEach(len(out), workers, func(i int) { out[i] = i + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers %d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestMergeFromAccumulates(t *testing.T) {
+	a, b := NewAggregates(), NewAggregates()
+	a.Add("x", 1)
+	a.Histogram("h").Record(3)
+	b.Add("x", 2)
+	b.Add("y", 5)
+	b.Histogram("h").Record(4)
+	b.Members = 2
+	a.MergeFrom(b)
+	if got := a.Scalar("x"); got != 3 {
+		t.Fatalf("x = %v", got)
+	}
+	if got := a.Scalar("y"); got != 5 {
+		t.Fatalf("y = %v", got)
+	}
+	if got := a.Histogram("h").Count(); got != 2 {
+		t.Fatalf("h count %d", got)
+	}
+	if a.Members != 2 {
+		t.Fatalf("members %d", a.Members)
 	}
 }
 

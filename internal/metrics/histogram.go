@@ -2,7 +2,13 @@
 // HDR-style log-linear latency histograms, streaming counters,
 // time-weighted utilization gauges, CDF extraction, and plain-text
 // table/figure rendering used by cmd/taichi-bench to regenerate the
-// paper's tables and figures.
+// paper's tables and figures. The histogram resolution (~6% relative
+// error) is chosen so the quantities the paper reports survive bucketing:
+// the microsecond RTT quantiles of Table 5, the 1–67 ms routine census of
+// Figure 5, and the utilization CDF of Figure 3. Histogram and Registry
+// merges are associative and traverse names in sorted order, which is
+// what lets internal/fleet combine per-node results deterministically
+// regardless of worker count.
 package metrics
 
 import (
@@ -339,8 +345,11 @@ func (h *Histogram) CountBetween(lo, hi sim.Duration) uint64 {
 	return cum
 }
 
-// sortedKeys returns map keys in sorted order; shared helper for renderers.
-func sortedKeys[V any](m map[string]V) []string {
+// SortedKeys returns map keys in sorted order. Renderers and merge paths
+// use it so that every map traversal in reported output is deterministic —
+// a prerequisite for the byte-identical parallel/sequential guarantee of
+// internal/fleet.
+func SortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

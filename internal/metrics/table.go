@@ -121,10 +121,23 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // HistogramNames returns the sorted names of all histograms.
-func (r *Registry) HistogramNames() []string { return sortedKeys(r.histograms) }
+func (r *Registry) HistogramNames() []string { return SortedKeys(r.histograms) }
 
 // CounterNames returns the sorted names of all counters.
-func (r *Registry) CounterNames() []string { return sortedKeys(r.counters) }
+func (r *Registry) CounterNames() []string { return SortedKeys(r.counters) }
+
+// Merge folds every histogram and counter of o into r, visiting names in
+// sorted order so repeated merges are deterministic. It is the
+// per-collector analogue of fleet.Aggregates.MergeFrom for harnesses that
+// aggregate whole registries across independent runs.
+func (r *Registry) Merge(o *Registry) {
+	for _, name := range SortedKeys(o.histograms) {
+		r.Histogram(name).Merge(o.histograms[name])
+	}
+	for _, name := range SortedKeys(o.counters) {
+		r.Counter(name).Add(o.counters[name].Value())
+	}
+}
 
 // Dump renders every histogram summary and counter, sorted by name.
 func (r *Registry) Dump() string {

@@ -1,10 +1,14 @@
 // Package platform assembles a simulated SmartNIC node: the event engine,
 // tracer, native OS kernel on the CP cores, the programmable accelerator
 // pipeline (with or without the hardware workload probe), and the
-// network/storage data-plane services on the DP cores. It supplies
-// mechanism only; scheduling policy (Tai Chi, static partitioning, the
-// virtualization baselines) is mounted on top by internal/core and
-// internal/baseline.
+// network/storage data-plane services on the DP cores. The default
+// topology and cost models are the paper's hardware shape (Table 4,
+// §6.1: 12 cores partitioned 8 DP + 4 CP; Figure 6 accelerator timing).
+// It supplies mechanism only; scheduling policy (Tai Chi, static
+// partitioning, the virtualization baselines) is mounted on top by
+// internal/core and internal/baseline. A Node confines all of its state
+// to itself — no package-level mutability — so independently-seeded
+// nodes can run concurrently on the internal/fleet worker pool.
 package platform
 
 import (

@@ -6,10 +6,17 @@
 // "2 µs VM-exit" is two thousand simulated nanoseconds, not a best-effort
 // sleep on a garbage-collected runtime.
 //
+// The resolution is dictated by the paper's numbers: the 2 µs VM-exit of
+// §3.4, the 2.7 µs + 0.5 µs accelerator window of Figure 6, and the 50 µs
+// initial vCPU time slice of §4.1 all have to be representable exactly.
+//
 // The engine is intentionally single-threaded. Determinism (same seed, same
 // event order, same results) is a hard requirement for the experiment
 // harnesses in internal/experiments, and a single goroutine draining a
 // priority queue is both the simplest and the fastest way to get it.
+// Parallelism lives one level up: independent engines (one per fleet
+// member) run concurrently on the internal/fleet worker pool, each one
+// still single-threaded inside.
 package sim
 
 import "fmt"

@@ -13,8 +13,11 @@
 // Because the paper's substrate (a production SmartNIC and a Linux
 // kernel module) is not reproducible in a portable library, the whole
 // system runs inside a deterministic nanosecond-resolution discrete-event
-// simulation; see DESIGN.md for the substitution argument. The simulation
-// is exact and repeatable: same seed, same results.
+// simulation; see DESIGN.md for the substitution argument and
+// ARCHITECTURE.md for the package map. The simulation is exact and
+// repeatable: same seed, same results — and multi-node analyses fan out
+// across a worker pool (Scale.Workers, taichi-bench -parallel) without
+// changing a single output byte.
 //
 // # Quick start
 //
