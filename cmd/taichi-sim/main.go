@@ -8,6 +8,8 @@
 //	taichi-sim -mode static -workload crr -dur 2s
 //	taichi-sim -mode naive -workload ping
 //	taichi-sim -nodes 16 -parallel 8      # fleet of independent nodes
+//	taichi-sim -faults default            # chaos run, DefaultSpec faults
+//	taichi-sim -faults probe-miss=0.3,ipi-drop=0.1,offline-mtbf=20ms
 //
 // Modes: taichi, static, type1, type2, naive.
 // Workloads: none, ping, crr, stream, rr, fio, mysql, nginx.
@@ -27,6 +29,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/controlplane"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
@@ -43,6 +46,7 @@ type host interface {
 type scenario struct {
 	node  *platform.Node
 	tc    *core.TaiChi
+	inj   *faults.Injector // nil unless -faults armed
 	tasks []*kernel.Thread
 	// report prints the workload's human-readable result (single-node mode).
 	report func()
@@ -52,7 +56,7 @@ type scenario struct {
 
 // build assembles the scenario for one seed; it is run once in
 // single-node mode and once per member in fleet mode.
-func build(mode, wl string, cp int, util float64, seed int64, horizon sim.Duration) (*scenario, error) {
+func build(mode, wl string, cp int, util float64, spec faults.Spec, seed int64, horizon sim.Duration) (*scenario, error) {
 	sc := &scenario{}
 	var h host
 	switch mode {
@@ -76,6 +80,18 @@ func build(mode, wl string, cp int, util float64, seed int64, horizon sim.Durati
 	}
 	node := sc.node
 
+	// Fault injection rides the Tai Chi scheduler's defense hooks, so it
+	// needs a mode built around core.TaiChi.
+	wrapCP := func(p kernel.Program) kernel.Program { return p }
+	if !spec.Zero() {
+		if sc.tc == nil {
+			return nil, fmt.Errorf("-faults requires a Tai Chi scheduler mode (taichi, type1, naive), not %q", mode)
+		}
+		sc.inj = faults.NewInjector(spec)
+		sc.inj.Attach(sc.tc)
+		wrapCP = sc.inj.WrapCP
+	}
+
 	// Background DP load.
 	if util > 0 {
 		bg := workload.NewBackground(node, workload.DefaultBackground(util))
@@ -88,7 +104,7 @@ func build(mode, wl string, cp int, util float64, seed int64, horizon sim.Durati
 		r := node.Stream("sim.cp")
 		var churn func(i int)
 		churn = func(i int) {
-			sc.tasks = append(sc.tasks, h.SpawnCP(fmt.Sprintf("synth%d", i), controlplane.SynthCP(cfg, r)))
+			sc.tasks = append(sc.tasks, h.SpawnCP(fmt.Sprintf("synth%d", i), wrapCP(controlplane.SynthCP(cfg, r))))
 			node.Engine.Schedule(sim.Exponential(r, sim.Duration(float64(50*sim.Millisecond)/float64(cp))), func() { churn(i + 1) })
 		}
 		churn(0)
@@ -197,16 +213,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	nodes := flag.Int("nodes", 1, "independently-seeded nodes running the scenario (fleet mode when > 1)")
 	parallel := flag.Int("parallel", 0, "fleet worker-pool size (0 = GOMAXPROCS; output is identical for any value)")
+	faultsFlag := flag.String("faults", "off", "fault-injection spec: off | default | key=value,... (see internal/faults.ParseSpec)")
 	flag.Parse()
 
 	horizon := sim.Duration(durFlag.Nanoseconds())
 
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *nodes > 1 {
-		runFleet(*mode, *wl, *cp, *util, *seed, horizon, *nodes, *parallel)
+		runFleet(*mode, *wl, *cp, *util, spec, *seed, horizon, *nodes, *parallel)
 		return
 	}
 
-	sc, err := build(*mode, *wl, *cp, *util, *seed, horizon)
+	sc, err := build(*mode, *wl, *cp, *util, spec, *seed, horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -240,20 +263,33 @@ func main() {
 			sc.tc.Sched.Rotations.Value(), sc.tc.Sched.Rescues.Value(),
 			sc.tc.Sched.PreemptLatency.Quantile(0.99))
 	}
+	if sc.inj != nil {
+		s := sc.tc.Sched
+		fmt.Println(sc.inj.Counts.String())
+		fmt.Printf("defense: mode=%s detected=%d recovered=%d retries=%d teardowns=%d probe-fallbacks=%d static-fallbacks=%d\n",
+			s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
+			s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
+			s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+	}
 }
 
 // runFleet executes the scenario on n independently-seeded nodes via the
 // bounded worker pool and prints the merged fleet-wide statistics.
-func runFleet(mode, wl string, cp int, util float64, seed int64, horizon sim.Duration, n, workers int) {
+func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, seed int64, horizon sim.Duration, n, workers int) {
 	start := time.Now()
 	agg := fleet.RunWorkers(n, seed, workers, func(idx int, memberSeed int64, a *fleet.Aggregates) {
-		sc, err := build(mode, wl, cp, util, memberSeed, horizon)
+		sc, err := build(mode, wl, cp, util, spec, memberSeed, horizon)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		sc.node.Run(sc.node.Now().Add(horizon))
 		sc.collect(a)
+		if sc.inj != nil {
+			a.Add("faults.injected", float64(sc.inj.Counts.Total()))
+			a.Add("faults.detected", float64(sc.tc.Sched.FaultsDetected.Value()))
+			a.Add("faults.recovered", float64(sc.tc.Sched.FaultsRecovered.Value()))
+		}
 		done, h := cpSummary(sc.tasks)
 		a.Merge("cp.turnaround", h)
 		a.Add("cp.tasks", float64(len(sc.tasks)))

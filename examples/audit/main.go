@@ -34,7 +34,11 @@ func main() {
 	// ...one of which we want to watch. StartAudit pins it to an auditing
 	// vCPU via standard affinity; the hypervisor observes every segment it
 	// begins.
-	audit := sys.StartAudit(suspect)
+	audit, err := sys.StartAudit(suspect)
+	if err != nil {
+		fmt.Println("audit refused:", err)
+		return
+	}
 	sys.Run(taichi.Seconds(2))
 
 	fmt.Println(audit.Stop())

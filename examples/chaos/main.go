@@ -1,0 +1,72 @@
+// Chaos: run a Tai Chi SmartNIC under deterministic fault injection and
+// watch the scheduler's defenses hold the data plane together: the
+// reclaim watchdog escalates stalled reclaims (posted interrupt → forced
+// IPI → vCPU teardown), the probe-miss detector falls back from the
+// hardware probe to slice-expiry reclaim, and sustained damage degrades
+// the node to static partitioning rather than violating DP SLOs.
+//
+//	go run ./examples/chaos
+//	go run ./examples/chaos -faults probe-miss=1
+//	go run ./examples/chaos -faults off        # fault-free reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	taichi "repro"
+	"repro/internal/controlplane"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := flag.String("faults", "default", "fault spec: off | default | key=value,...")
+	seed := flag.Int64("seed", 42, "simulation seed (same seed + spec = same output)")
+	flag.Parse()
+
+	fs, err := taichi.ParseFaultSpec(*spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys := taichi.New(*seed)
+	inj := taichi.NewFaultInjector(fs)
+	inj.Attach(sys)
+
+	// The usual mixed load: bursty DP traffic, an RTT probe, and a burst
+	// of CP jobs (wrapped so the injector can crash or hang them).
+	bg := workload.NewBackground(sys.Node, workload.DefaultBackground(0.30))
+	bg.Start()
+	pc := workload.DefaultPing()
+	pc.Count = 2000
+	ping := workload.NewPing(sys.Node, pc)
+	ping.Start(nil)
+
+	var jobs []*kernel.Thread
+	cfg := controlplane.DefaultSynthCP()
+	for i := 0; i < 24; i++ {
+		prog := controlplane.SynthCP(cfg, sys.Stream(fmt.Sprintf("job%d", i)))
+		jobs = append(jobs, sys.SpawnCP(fmt.Sprintf("job%d", i), inj.WrapCP(prog)))
+	}
+
+	sys.Run(taichi.Seconds(2))
+
+	done := 0
+	for _, j := range jobs {
+		if j.State() == kernel.StateDone {
+			done++
+		}
+	}
+	s := sys.Sched
+	fmt.Printf("ping rtt: mean %v p99 %v max %v\n",
+		ping.RTT.Mean(), ping.RTT.Quantile(0.99), ping.RTT.Max())
+	fmt.Printf("cp jobs: %d/%d done\n", done, len(jobs))
+	fmt.Println(inj.Counts.String())
+	fmt.Printf("defense: mode=%s detected=%d recovered=%d retries=%d teardowns=%d probe-fallbacks=%d static-fallbacks=%d\n",
+		s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
+		s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
+		s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+}

@@ -70,6 +70,54 @@ func TestExperimentParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestFacadeZeroFaultIdentity is the regression contract of the fault
+// layer: attaching an injector with a zero-rate spec must be invisible —
+// byte-identical Describe output and an identical event count versus a
+// run with no injector at all, across seeds.
+func TestFacadeZeroFaultIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 17, 404} {
+		run := func(withInjector bool) (string, uint64) {
+			sys := taichi.New(seed)
+			if withInjector {
+				inj := taichi.NewFaultInjector(taichi.FaultSpec{})
+				inj.Attach(sys)
+			}
+			job := sys.SpawnCP("job", controlplane.SynthCP(controlplane.DefaultSynthCP(), sys.Stream("job")))
+			sys.Run(taichi.Seconds(1))
+			if job.State() != kernel.StateDone {
+				t.Fatalf("seed %d: job state %v", seed, job.State())
+			}
+			return sys.Describe(), sys.Engine().Fired()
+		}
+		plainOut, plainFired := run(false)
+		injOut, injFired := run(true)
+		if plainOut != injOut {
+			t.Fatalf("seed %d: zero-fault injector changed Describe output\n--- without\n%s--- with\n%s",
+				seed, plainOut, injOut)
+		}
+		if plainFired != injFired {
+			t.Fatalf("seed %d: zero-fault injector changed event count %d -> %d",
+				seed, plainFired, injFired)
+		}
+	}
+}
+
+// TestChaosExperimentParallelDeterminism pins the chaos sweep (whose 0x
+// level is the zero-fault anchor) to the fleet determinism contract:
+// byte-identical rendered output on 1 and 8 workers.
+func TestChaosExperimentParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		scale := taichi.Quick
+		scale.Workers = workers
+		return taichi.ExperimentByID("chaos").Run(scale).Render()
+	}
+	want := render(1)
+	if got := render(8); got != want {
+		t.Fatalf("chaos output differs between 1 and 8 workers:\n--- sequential\n%s--- parallel\n%s",
+			want, got)
+	}
+}
+
 func TestFacadeTimeHelpers(t *testing.T) {
 	if taichi.Seconds(1) != 1_000_000_000 {
 		t.Fatal("Seconds")

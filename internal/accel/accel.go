@@ -63,6 +63,14 @@ type Probe struct {
 	IRQLatency sim.Duration
 	// OnIRQ receives the early preemption request for a core.
 	OnIRQ func(core int)
+	// MissCheck, when non-nil, is consulted before the probe fires for a
+	// V-state core; returning true swallows the arrival check (a
+	// hardware-probe miss). Installed by the fault-injection layer only —
+	// it must stay nil in fault-free runs so no RNG draws are added.
+	MissCheck func(core int) bool
+
+	// Misses counts arrival checks swallowed by MissCheck.
+	Misses uint64
 
 	states map[int]CoreState
 	// pending marks cores with a preemption request already in flight;
@@ -98,6 +106,10 @@ func (p *Probe) SetState(core int, s CoreState) {
 		return
 	}
 	if p.Enabled && p.inFlight != nil && p.inFlight(core) > 0 {
+		if p.MissCheck != nil && p.MissCheck(core) {
+			p.Misses++
+			return
+		}
 		p.fire(core, "inflight-at-vstate")
 	}
 }
@@ -113,7 +125,24 @@ func (p *Probe) inspect(core int) {
 	if !p.Enabled || p.states[core] != VState {
 		return
 	}
+	if p.MissCheck != nil && p.MissCheck(core) {
+		p.Misses++
+		return
+	}
 	p.fire(core, "vstate-hit")
+}
+
+// InjectSpurious fires the early-preemption IRQ for a core without any
+// packet arrival — the fault-injection layer's spurious-reclaim path.
+// Only V-state cores accept it (the probe hardware only watches lent
+// cores, and a spurious request while the DP owns the core would poison
+// the level-triggered pending latch). Reports whether the IRQ fired.
+func (p *Probe) InjectSpurious(core int) bool {
+	if !p.Enabled || p.states[core] != VState || p.pending[core] {
+		return false
+	}
+	p.fire(core, "spurious")
+	return true
 }
 
 // fire emits the early preemption IRQ after the delivery latency. The

@@ -31,10 +31,19 @@ type Audit struct {
 
 // StartAudit moves a thread into the auditing domain: its affinity is
 // pinned to one vCPU of the pool, whose segment observer records every
-// privileged operation the thread begins.
-func (t *TaiChi) StartAudit(th *kernel.Thread) *Audit {
+// privileged operation the thread begins. It refuses (with an error)
+// when the thread already finished, the node has no vCPU pool to
+// dedicate, or another audit currently holds the auditing vCPU — all
+// states a management plane can legitimately race into.
+func (t *TaiChi) StartAudit(th *kernel.Thread) (*Audit, error) {
 	if th.State() == kernel.StateDone {
-		panic("core: auditing a finished thread")
+		return nil, fmt.Errorf("core: cannot audit finished thread %q", th.Name)
+	}
+	if len(t.Sched.VCPUs()) == 0 {
+		return nil, fmt.Errorf("core: no vCPU pool to host an audit domain")
+	}
+	if t.audit != nil && t.audit.active {
+		return nil, fmt.Errorf("core: audit vCPU already occupied by thread %q", t.audit.thread.Name)
 	}
 	v := t.Sched.VCPUs()[len(t.Sched.VCPUs())-1] // dedicate the last pool vCPU
 	a := &Audit{
@@ -63,9 +72,10 @@ func (t *TaiChi) StartAudit(th *kernel.Thread) *Audit {
 		a.ObservedCPU = th.CPUTime - before
 	}
 	th.SetAffinity(v.ID())
+	t.audit = a
 	// The audit vCPU now has standing work; nudge placement.
 	t.Node.Kernel.SendIPI(-1, v.ID(), kernel.VecResched, 0)
-	return a
+	return a, nil
 }
 
 // Stop ends the audit: the observer is removed and the thread's affinity

@@ -16,7 +16,10 @@ func TestAuditObservesPrivilegedActivity(t *testing.T) {
 	cfg.NonPreemptFrac = 0.3
 	target := tc.SpawnCP("target", controlplane.SynthCP(cfg, tc.Stream("target")))
 
-	audit := tc.StartAudit(target)
+	audit, err := tc.StartAudit(target)
+	if err != nil {
+		t.Fatalf("StartAudit: %v", err)
+	}
 	tc.Run(sim.Time(2 * sim.Second))
 	if target.State() != kernel.StateDone {
 		t.Fatalf("audited target state %v (cpu %v)", target.State(), target.CPUTime)
@@ -38,7 +41,10 @@ func TestAuditConfinesThreadToAuditVCPU(t *testing.T) {
 	target := tc.SpawnCP("target", &kernel.SliceProgram{Segments: []kernel.Segment{
 		{Kind: kernel.SegCompute, Dur: 50 * sim.Millisecond},
 	}})
-	a := tc.StartAudit(target)
+	a, err := tc.StartAudit(target)
+	if err != nil {
+		t.Fatalf("StartAudit: %v", err)
+	}
 	if !target.AllowedOn(a.vcpuID) {
 		t.Fatal("target not bound to the audit vCPU")
 	}
@@ -69,7 +75,10 @@ func TestAuditDoesNotDisturbOtherThreads(t *testing.T) {
 	cfg.Total = 10 * sim.Millisecond
 	target := tc.SpawnCP("target", controlplane.SynthCP(cfg, tc.Stream("t")))
 	other := tc.SpawnCP("other", controlplane.SynthCP(cfg, tc.Stream("o")))
-	a := tc.StartAudit(target)
+	a, err := tc.StartAudit(target)
+	if err != nil {
+		t.Fatalf("StartAudit: %v", err)
+	}
 	tc.Run(sim.Time(sim.Second))
 	if other.State() != kernel.StateDone {
 		t.Fatal("bystander thread blocked by audit")
@@ -82,16 +91,35 @@ func TestAuditDoesNotDisturbOtherThreads(t *testing.T) {
 	a.Stop()
 }
 
-func TestAuditFinishedThreadPanics(t *testing.T) {
+func TestAuditFinishedThreadRefused(t *testing.T) {
 	tc := newTaiChi(33, nil)
 	th := tc.SpawnCP("quick", &kernel.SliceProgram{Segments: []kernel.Segment{
 		{Kind: kernel.SegCompute, Dur: sim.Millisecond},
 	}})
 	tc.Run(sim.Time(100 * sim.Millisecond))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	tc.StartAudit(th)
+	if _, err := tc.StartAudit(th); err == nil {
+		t.Fatal("audit of a finished thread not refused")
+	}
+}
+
+func TestAuditRefusedWhileVCPUOccupied(t *testing.T) {
+	tc := newTaiChi(34, nil)
+	long := &kernel.SliceProgram{Segments: []kernel.Segment{
+		{Kind: kernel.SegCompute, Dur: 50 * sim.Millisecond},
+	}}
+	first := tc.SpawnCP("first", long)
+	second := tc.SpawnCP("second", long)
+	a, err := tc.StartAudit(first)
+	if err != nil {
+		t.Fatalf("StartAudit: %v", err)
+	}
+	if _, err := tc.StartAudit(second); err == nil {
+		t.Fatal("second concurrent audit not refused")
+	}
+	a.Stop()
+	b, err := tc.StartAudit(second)
+	if err != nil {
+		t.Fatalf("audit after Stop still refused: %v", err)
+	}
+	b.Stop()
 }

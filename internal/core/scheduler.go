@@ -88,6 +88,10 @@ type dpSlot struct {
 	preemptReq sim.Time
 	// pendingEnter is the vCPU a raised softirq will enter.
 	pendingEnter *vcpu.VCPU
+	// wdEv / wdRetries drive the reclaim watchdog (defense.go); unused —
+	// and event-free — unless EnableDefense armed the machinery.
+	wdEv      *sim.Event
+	wdRetries int
 }
 
 // Scheduler is the Tai Chi vCPU scheduler (§4.1): it lends idle DP cores
@@ -123,12 +127,25 @@ type Scheduler struct {
 	cpCores []*kernel.CPU
 	rrCP    int
 
+	// defense holds the graceful-degradation state; nil (the fault-free
+	// default) keeps every defense path completely inert.
+	defense *defenseState
+
 	// Metrics.
 	Yields         *metrics.Counter
 	Preempts       *metrics.Counter
 	Rescues        *metrics.Counter
 	Rotations      *metrics.Counter
 	PreemptLatency *metrics.Histogram // probe request → DP resumed
+
+	// Defense metrics (always created so Describe output is identical
+	// with and without the machinery armed; all stay zero when unarmed).
+	FaultsDetected    *metrics.Counter
+	FaultsRecovered   *metrics.Counter
+	WatchdogRetries   *metrics.Counter
+	WatchdogTeardowns *metrics.Counter
+	ProbeFallbacks    *metrics.Counter
+	StaticFallbacks   *metrics.Counter
 }
 
 // NewScheduler mounts Tai Chi onto the node: creates and registers the
@@ -154,6 +171,13 @@ func NewScheduler(node *platform.Node, cfg Config) *Scheduler {
 		Rescues:        metrics.NewCounter("taichi.rescues"),
 		Rotations:      metrics.NewCounter("taichi.rotations"),
 		PreemptLatency: metrics.NewHistogram("taichi.preempt_latency"),
+
+		FaultsDetected:    metrics.NewCounter("taichi.faults_detected"),
+		FaultsRecovered:   metrics.NewCounter("taichi.faults_recovered"),
+		WatchdogRetries:   metrics.NewCounter("taichi.watchdog_retries"),
+		WatchdogTeardowns: metrics.NewCounter("taichi.watchdog_teardowns"),
+		ProbeFallbacks:    metrics.NewCounter("taichi.probe_fallbacks"),
+		StaticFallbacks:   metrics.NewCounter("taichi.static_fallbacks"),
 	}
 	s.orch = NewOrchestrator(node.Kernel)
 
@@ -251,6 +275,7 @@ func (s *Scheduler) onProbeIRQ(core int) {
 	}
 	slot.preemptReq = s.engine.Now()
 	s.Preempts.Inc()
+	s.armReclaimWatchdog(slot)
 	if slot.occupant != nil {
 		if s.cfg.NaiveCoSchedule {
 			s.naivePreempt(slot)
@@ -302,6 +327,10 @@ func (s *Scheduler) reconcile() {
 	for _, id := range s.order {
 		slot := s.slots[id]
 		if !slot.available || slot.occupant != nil || slot.pendingEnter != nil {
+			continue
+		}
+		if !s.lendable(slot) {
+			slot.available = false
 			continue
 		}
 		if slot.dp.State() != dataplane.Polling || slot.dp.QueueLen() > 0 {
@@ -425,9 +454,9 @@ func (s *Scheduler) softirqSwitch(cpu kernel.CPUID) {
 	}
 	v := slot.pendingEnter
 	slot.pendingEnter = nil
-	if slot.preemptReq != 0 {
-		// The hardware probe fired during the switch window: abort the
-		// entry and give the core straight back.
+	if slot.preemptReq != 0 || slot.dp.Down() {
+		// The hardware probe fired during the switch window (or the core
+		// went hardware-offline): abort the entry and give the core back.
 		delete(s.claimed, v)
 		s.enqueueReady(v)
 		s.resumeDP(slot)
@@ -486,7 +515,14 @@ func (s *Scheduler) onExit(v *vcpu.VCPU, reason vcpu.ExitReason) {
 		if slot != nil {
 			if slot.dp.QueueLen() > 0 {
 				// Without the hardware probe this is how pending I/O is
-				// discovered: at slice expiry (Table 5's ablation).
+				// discovered: at slice expiry (Table 5's ablation). With the
+				// probe enabled and no preemption request raised, the probe
+				// missed this traffic — count it against the hardware
+				// probe's trustworthiness.
+				if s.defense != nil && s.node.Probe != nil &&
+					s.node.Probe.Enabled && slot.preemptReq == 0 {
+					s.noteProbeMiss()
+				}
 				slot.slice = s.cfg.InitialSlice
 				s.sw.FalsePositive(slot.dp.ID)
 				s.resumeDP(slot)
@@ -525,7 +561,10 @@ func (s *Scheduler) onExit(v *vcpu.VCPU, reason vcpu.ExitReason) {
 	}
 
 	if rotate && slot != nil {
-		next := s.acquireVCPU()
+		next := (*vcpu.VCPU)(nil)
+		if s.lendable(slot) {
+			next = s.acquireVCPU()
+		}
 		if next != nil {
 			s.Rotations.Inc()
 			s.enterOn(slot, next)
@@ -555,6 +594,15 @@ func (s *Scheduler) resumeDP(slot *dpSlot) {
 	if s.node.Probe != nil {
 		s.node.Probe.SetState(slot.dp.ID, accel.PState)
 	}
+	if slot.wdEv != nil {
+		slot.wdEv.Cancel()
+		slot.wdEv = nil
+	}
+	if slot.wdRetries > 0 {
+		// The reclaim only completed because the watchdog escalated.
+		s.FaultsRecovered.Inc()
+		slot.wdRetries = 0
+	}
 	if slot.preemptReq != 0 {
 		s.PreemptLatency.Record(s.engine.Now().Sub(slot.preemptReq))
 		slot.preemptReq = 0
@@ -575,6 +623,7 @@ func (s *Scheduler) rescue(v *vcpu.VCPU) {
 	for _, id := range s.order {
 		slot := s.slots[id]
 		if slot.available && slot.occupant == nil && slot.pendingEnter == nil &&
+			s.lendable(slot) &&
 			slot.dp.State() == dataplane.Polling && slot.dp.QueueLen() == 0 {
 			s.enterOn(slot, v)
 			return

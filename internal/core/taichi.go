@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/controlplane"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/vcpu"
 )
 
 // TaiChi is a fully assembled Tai Chi node: the platform (accelerator,
@@ -24,6 +27,9 @@ type TaiChi struct {
 	DriverLock *kernel.SpinLock
 
 	coord controlplane.DPCoordinator
+	// audit is the audit currently holding the dedicated auditing vCPU
+	// (nil when none); StartAudit refuses a second concurrent audit.
+	audit *Audit
 }
 
 // New mounts Tai Chi onto a platform node.
@@ -36,11 +42,70 @@ func New(node *platform.Node, cfg Config) *TaiChi {
 	}
 }
 
+// TryNew is New with the configuration-error paths surfaced as errors
+// instead of panics: an empty vCPU pool and vCPU logical-id collisions
+// with CPUs the kernel already owns are caller mistakes a long-running
+// harness should be able to report, not die on.
+func TryNew(node *platform.Node, cfg Config) (*TaiChi, error) {
+	if cfg.VCPUs <= 0 {
+		return nil, fmt.Errorf("core: config needs at least one vCPU (got %d)", cfg.VCPUs)
+	}
+	for i := 0; i < cfg.VCPUs; i++ {
+		id := cfg.VCPUBaseID + kernel.CPUID(i)
+		if node.Kernel.CPU(id) != nil {
+			return nil, fmt.Errorf("core: vCPU logical id %d collides with an existing CPU", id)
+		}
+	}
+	return New(node, cfg), nil
+}
+
 // NewDefault builds a production-like Tai Chi node in one call.
 func NewDefault(seed int64) *TaiChi {
 	opts := platform.DefaultOptions()
 	opts.Seed = seed
 	return New(platform.NewNode(opts), DefaultConfig())
+}
+
+// Describe renders a deterministic plain-text summary of the node's
+// scheduler, kernel, dataplane, and vCPU state. It is the regression
+// surface of the fault-injection layer: a zero-fault run with the
+// injector attached must produce byte-identical output to a run without
+// it, so the defense counters are always printed (all zero when the
+// machinery never armed).
+func (t *TaiChi) Describe() string {
+	var b strings.Builder
+	s := t.Sched
+	k := t.Node.Kernel
+	fmt.Fprintf(&b, "taichi: yields=%d preempts=%d rescues=%d rotations=%d\n",
+		s.Yields.Value(), s.Preempts.Value(), s.Rescues.Value(), s.Rotations.Value())
+	pl := s.PreemptLatency
+	fmt.Fprintf(&b, "preempt-latency: n=%d mean=%v p99=%v max=%v\n",
+		pl.Count(), pl.Mean(), pl.Quantile(0.99), pl.Max())
+	fmt.Fprintf(&b, "kernel: ctx=%d ipis=%d deferred=%d dropped=%d preemptions=%d watchdog-kicks=%d\n",
+		k.CtxSwitches.Value(), k.IPIsSent.Value(), k.IPIsDeferred.Value(),
+		k.IPIsDropped.Value(), k.Preemptions.Value(), k.WatchdogKicks.Value())
+	var entries, teardowns uint64
+	var exits [5]uint64
+	for _, v := range s.vcpus {
+		entries += v.Entries
+		teardowns += v.Teardowns
+		for i, n := range v.ExitsByWhy {
+			exits[i] += n
+		}
+	}
+	fmt.Fprintf(&b, "vcpus: entries=%d exits timer=%d probe=%d halt=%d ipi=%d forced=%d teardowns=%d\n",
+		entries, exits[vcpu.ExitTimer], exits[vcpu.ExitProbe], exits[vcpu.ExitHalt],
+		exits[vcpu.ExitIPI], exits[vcpu.ExitForced], teardowns)
+	for _, id := range s.order {
+		dp := s.slots[id].dp
+		fmt.Fprintf(&b, "dp.core%d: processed=%d yields=%d resumes=%d maxq=%d\n",
+			id, dp.Processed, dp.Yields, dp.Resumes, dp.MaxQueueLen)
+	}
+	fmt.Fprintf(&b, "defense: mode=%s detected=%d recovered=%d retries=%d teardowns=%d probe-fallbacks=%d static-fallbacks=%d\n",
+		s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
+		s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
+		s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+	return b.String()
 }
 
 // CPAffinity returns the logical CPUs CP tasks are bound to: the vCPU

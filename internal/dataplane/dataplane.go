@@ -94,6 +94,7 @@ type Core struct {
 	cfg     *Config
 
 	state        CoreState
+	down         bool // hardware offline (fault injection); queue accrues
 	queue        []*accel.Packet
 	idleEv       *sim.Event
 	pollutedWork sim.Duration
@@ -137,7 +138,7 @@ func (c *Core) Deliver(p *accel.Packet) {
 	if len(c.queue) > c.MaxQueueLen {
 		c.MaxQueueLen = len(c.queue)
 	}
-	if c.state == Polling {
+	if c.state == Polling && !c.down {
 		c.cancelIdle()
 		c.processNext()
 	}
@@ -145,6 +146,11 @@ func (c *Core) Deliver(p *accel.Packet) {
 
 // processNext consumes the next burst, or returns to polling.
 func (c *Core) processNext() {
+	if c.down {
+		c.state = Polling
+		c.Gauge.SetBusy(c.engine.Now(), false)
+		return
+	}
 	if len(c.queue) == 0 {
 		c.state = Polling
 		c.Gauge.SetBusy(c.engine.Now(), false)
@@ -197,7 +203,7 @@ func (c *Core) processNext() {
 // armIdle starts the consecutive-empty-poll countdown; when it expires
 // the core reports idle CPU cycles upward.
 func (c *Core) armIdle() {
-	if c.OnIdle == nil || c.YieldThreshold == nil || c.idleEv != nil {
+	if c.OnIdle == nil || c.YieldThreshold == nil || c.idleEv != nil || c.down {
 		return
 	}
 	n := c.YieldThreshold()
@@ -241,10 +247,40 @@ func (c *Core) Resume() {
 	c.Resumes++
 	c.pollutedWork = c.cfg.PollutionWork
 	c.tracer.Emit(c.engine.Now(), trace.KindPreempt, c.ID, 0, "dp-resume")
+	if c.down {
+		return // offline: queued packets wait for SetDown(false)
+	}
 	if len(c.queue) > 0 {
 		c.processNext()
 	} else {
 		c.armIdle()
+	}
+}
+
+// Down reports whether the core is marked hardware-offline.
+func (c *Core) Down() bool { return c.down }
+
+// SetDown marks the core offline/online — the fault-injection layer's DP
+// core offline/online event. While down the core neither processes its
+// queue nor reports idle cycles (so it is never lent); arriving packets
+// accrue in the queue. Bringing the core back resumes processing
+// immediately. The vCPU scheduler is responsible for evicting any
+// occupant before marking a lent core down (Scheduler.SetCoreDown).
+func (c *Core) SetDown(down bool) {
+	if c.down == down {
+		return
+	}
+	c.down = down
+	if down {
+		c.cancelIdle()
+		return
+	}
+	if c.state == Polling {
+		if len(c.queue) > 0 {
+			c.processNext()
+		} else {
+			c.armIdle()
+		}
 	}
 }
 

@@ -78,10 +78,22 @@ type Lognormal struct {
 
 // NewLognormalFromMeanP99 fits a lognormal with the given mean and p99,
 // a convenient surface for calibrating to published quantiles. It panics
-// if p99 <= mean (no lognormal exists).
+// if p99 <= mean (no lognormal exists); FitLognormalMeanP99 is the
+// error-returning form for parameters that arrive from config.
 func NewLognormalFromMeanP99(mean, p99 sim.Duration) Lognormal {
+	l, err := FitLognormalMeanP99(mean, p99)
+	if err != nil {
+		panic(err.Error())
+	}
+	return l
+}
+
+// FitLognormalMeanP99 fits a lognormal with the given mean and p99,
+// reporting invalid parameters (mean <= 0, or p99 <= mean — no lognormal
+// exists) as an error instead of panicking.
+func FitLognormalMeanP99(mean, p99 sim.Duration) (Lognormal, error) {
 	if p99 <= mean || mean <= 0 {
-		panic(fmt.Sprintf("dist: invalid lognormal fit mean=%v p99=%v", mean, p99))
+		return Lognormal{}, fmt.Errorf("dist: invalid lognormal fit mean=%v p99=%v", mean, p99)
 	}
 	// mean = exp(mu + sigma^2/2); p99 = exp(mu + 2.326*sigma)
 	// Solve sigma from: ln(p99) - ln(mean) = 2.326*sigma - sigma^2/2
@@ -97,7 +109,7 @@ func NewLognormalFromMeanP99(mean, p99 sim.Duration) Lognormal {
 		sigma = 0.1
 	}
 	mu := math.Log(float64(mean)) - sigma*sigma/2
-	return Lognormal{Mu: mu, Sigma: sigma}
+	return Lognormal{Mu: mu, Sigma: sigma}, nil
 }
 
 // Sample implements Sampler.
@@ -178,16 +190,28 @@ type Bucket struct {
 }
 
 // NewEmpirical builds a piecewise-uniform distribution from weighted
-// buckets. Weights need not sum to 1. It panics on empty or invalid input.
+// buckets. Weights need not sum to 1. It panics on empty or invalid
+// input; TryNewEmpirical is the error-returning form.
 func NewEmpirical(buckets []Bucket) *Empirical {
+	e, err := TryNewEmpirical(buckets)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
+}
+
+// TryNewEmpirical builds a piecewise-uniform distribution from weighted
+// buckets, reporting empty input, inverted ranges, negative weights, and
+// zero total weight as errors instead of panicking.
+func TryNewEmpirical(buckets []Bucket) (*Empirical, error) {
 	if len(buckets) == 0 {
-		panic("dist: empirical distribution needs at least one bucket")
+		return nil, fmt.Errorf("dist: empirical distribution needs at least one bucket")
 	}
 	e := &Empirical{}
 	var meanAcc float64
 	for _, b := range buckets {
 		if b.Hi < b.Lo || b.Weight < 0 {
-			panic(fmt.Sprintf("dist: invalid bucket %+v", b))
+			return nil, fmt.Errorf("dist: invalid bucket %+v", b)
 		}
 		if b.Weight == 0 {
 			continue
@@ -198,10 +222,10 @@ func NewEmpirical(buckets []Bucket) *Empirical {
 		meanAcc += b.Weight * float64(b.Lo+b.Hi) / 2
 	}
 	if e.total == 0 {
-		panic("dist: empirical distribution has zero total weight")
+		return nil, fmt.Errorf("dist: empirical distribution has zero total weight")
 	}
 	e.mean = sim.Duration(meanAcc / e.total)
-	return e
+	return e, nil
 }
 
 // Sample implements Sampler: pick a bucket by weight, then uniform within.
@@ -268,8 +292,18 @@ type Component struct {
 }
 
 // NewMixture builds a weighted mixture. It panics on empty input or
-// non-positive total weight.
+// non-positive total weight; TryNewMixture is the error-returning form.
 func NewMixture(comps []Component) *Mixture {
+	m, err := TryNewMixture(comps)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// TryNewMixture builds a weighted mixture, reporting a non-positive
+// total weight as an error instead of panicking.
+func TryNewMixture(comps []Component) (*Mixture, error) {
 	m := &Mixture{}
 	for _, c := range comps {
 		if c.Weight <= 0 {
@@ -280,9 +314,9 @@ func NewMixture(comps []Component) *Mixture {
 		m.cum = append(m.cum, m.total)
 	}
 	if m.total == 0 {
-		panic("dist: mixture has zero total weight")
+		return nil, fmt.Errorf("dist: mixture has zero total weight")
 	}
-	return m
+	return m, nil
 }
 
 // Sample implements Sampler.

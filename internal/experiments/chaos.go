@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Chaos sweeps the deterministic fault injector across fault-rate levels
+// (multiples of faults.DefaultSpec) and measures how gracefully Tai Chi
+// degrades: DP p99 latency and CP throughput versus the fault-free run,
+// alongside the defense's detection/recovery counters and the final
+// degradation-ladder rung. The 0x level doubles as the regression
+// anchor — an attached-but-zero injector must behave exactly like no
+// injector at all.
+func Chaos(scale Scale) *Result {
+	res := newResult("Chaos: fault-rate sweep with graceful degradation")
+	tbl := metrics.NewTable("Chaos sweep",
+		"level", "ping_p99", "p99_vs_0x", "cp_done", "injected", "detected", "recovered", "mode")
+
+	levels := []float64{0, 0.5, 1, 2}
+	type row struct {
+		p99                           float64 // µs
+		cpDone                        int
+		injected, detected, recovered uint64
+		mode                          string
+	}
+	rows := make([]row, len(levels))
+	horizon := scale.dur(2 * sim.Second)
+
+	// Each level is an independent simulation; sweep them on the worker
+	// pool and assemble the table in level order afterwards.
+	fleet.ForEach(len(levels), scale.Workers, func(i int) {
+		spec := faults.DefaultSpec().Scaled(levels[i])
+		tc := core.NewDefault(900 + int64(i))
+		inj := faults.NewInjector(spec)
+		inj.Attach(tc)
+
+		bg := workload.NewBackground(tc.Node, workload.DefaultBackground(0.30))
+		bg.Start()
+		pc := workload.DefaultPing()
+		pc.Count = int(horizon / pc.Interval)
+		ping := workload.NewPing(tc.Node, pc)
+		ping.Start(nil)
+
+		cfg := controlplane.DefaultSynthCP()
+		tasks := make([]*kernel.Thread, 24)
+		for j := range tasks {
+			prog := controlplane.SynthCP(cfg, tc.Stream(fmt.Sprintf("chaos.cp%d", j)))
+			tasks[j] = tc.SpawnCP(fmt.Sprintf("cp%d", j), inj.WrapCP(prog))
+		}
+
+		tc.Run(sim.Time(horizon))
+
+		done := 0
+		for _, t := range tasks {
+			if t.State() == kernel.StateDone {
+				done++
+			}
+		}
+		rows[i] = row{
+			p99:       ping.RTT.Quantile(0.99).Microseconds(),
+			cpDone:    done,
+			injected:  inj.Counts.Total(),
+			detected:  tc.Sched.FaultsDetected.Value(),
+			recovered: tc.Sched.FaultsRecovered.Value(),
+			mode:      tc.Sched.DefenseMode().String(),
+		}
+	})
+
+	base := rows[0].p99
+	for i, lvl := range levels {
+		r := rows[i]
+		label := fmt.Sprintf("%gx", lvl)
+		tbl.AddRow(label, r.p99, pct(base, r.p99), r.cpDone,
+			r.injected, r.detected, r.recovered, r.mode)
+		res.Values[fmt.Sprintf("p99_us_%s", label)] = r.p99
+		res.Values[fmt.Sprintf("cp_done_%s", label)] = float64(r.cpDone)
+		res.Values[fmt.Sprintf("injected_%s", label)] = float64(r.injected)
+		res.Values[fmt.Sprintf("detected_%s", label)] = float64(r.detected)
+		res.Values[fmt.Sprintf("recovered_%s", label)] = float64(r.recovered)
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Notes = append(res.Notes,
+		"defense ladder: normal (hw probe) -> sw-probe (slice-expiry reclaim) -> static (no lending)",
+		"0x is the attached-but-zero injector; it must match a fault-free run exactly")
+	return res
+}

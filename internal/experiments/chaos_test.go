@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+func TestChaosShape(t *testing.T) {
+	t.Parallel()
+	r := Chaos(Quick)
+
+	// The 0x level is the fault-free anchor: nothing injected, nothing
+	// detected, CP work completes.
+	if r.Values["injected_0x"] != 0 || r.Values["detected_0x"] != 0 {
+		t.Fatalf("0x level not fault-free: injected=%v detected=%v",
+			r.Values["injected_0x"], r.Values["detected_0x"])
+	}
+	if r.Values["cp_done_0x"] == 0 {
+		t.Fatal("no CP work completed fault-free")
+	}
+
+	// Armed levels must inject, and the defense must both notice and
+	// recover.
+	for _, lvl := range []string{"1x", "2x"} {
+		if r.Values["injected_"+lvl] == 0 {
+			t.Fatalf("nothing injected at %s", lvl)
+		}
+		if r.Values["detected_"+lvl] == 0 {
+			t.Fatalf("nothing detected at %s", lvl)
+		}
+		if r.Values["recovered_"+lvl] == 0 {
+			t.Fatalf("nothing recovered at %s", lvl)
+		}
+	}
+
+	// Graceful degradation: even at 2x the default fault profile, DP p99
+	// stays within a small multiple of fault-free and CP throughput does
+	// not collapse.
+	if base, faulted := r.Values["p99_us_0x"], r.Values["p99_us_2x"]; faulted > 5*base {
+		t.Fatalf("p99 degraded %vus -> %vus (>5x) under 2x faults", base, faulted)
+	}
+	if done, base := r.Values["cp_done_2x"], r.Values["cp_done_0x"]; done < base/2 {
+		t.Fatalf("CP throughput collapsed: %v done vs %v fault-free", done, base)
+	}
+}

@@ -39,6 +39,7 @@ func Registry() []Named {
 		{"abl-posted", "Ablation: posted interrupts", AblationPostedInterrupts},
 		{"abl-conntrack", "Ablation: DP connection-table sizing", AblationConnTrack},
 		{"abl-ipiv", "Ablation: IPI virtualization", AblationIPIV},
+		{"chaos", "Chaos: fault-rate sweep with graceful degradation", Chaos},
 	}
 }
 

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vcpu"
+)
+
+// Injector wires a Spec into an assembled Tai Chi node. Each fault class
+// draws from its own named RNG stream (derived from the node's seed), so
+// enabling one class never perturbs another's sequence and a given
+// (seed, spec) pair replays bit-for-bit.
+//
+// Attaching a zero Spec is a complete no-op: no hooks installed, no
+// events scheduled, no streams created — the node's behaviour stays
+// byte-identical to an injector-free run (enforced by regression test).
+type Injector struct {
+	// Spec is the fault profile; fixed at construction.
+	Spec Spec
+	// Counts tallies injected faults per class, in a deterministic
+	// registration order: probe-miss, spurious, ipi-drop, ipi-delay,
+	// exit-stall, lock-stall, offline, cp-crash, cp-hang.
+	Counts *metrics.Group
+
+	tc       *core.TaiChi
+	attached bool
+	cpRNG    *rand.Rand
+
+	probeMiss, spurious, ipiDrop, ipiDelay *metrics.Counter
+	exitStall, lockStall, offline          *metrics.Counter
+	cpCrash, cpHang                        *metrics.Counter
+}
+
+// NewInjector builds an injector for the given spec. Intensity means
+// left zero default to the DefaultSpec values for any armed class.
+func NewInjector(spec Spec) *Injector {
+	spec.applyMeanDefaults()
+	g := metrics.NewGroup("faults")
+	return &Injector{
+		Spec:      spec,
+		Counts:    g,
+		probeMiss: g.Counter("probe-miss"),
+		spurious:  g.Counter("spurious"),
+		ipiDrop:   g.Counter("ipi-drop"),
+		ipiDelay:  g.Counter("ipi-delay"),
+		exitStall: g.Counter("exit-stall"),
+		lockStall: g.Counter("lock-stall"),
+		offline:   g.Counter("offline"),
+		cpCrash:   g.Counter("cp-crash"),
+		cpHang:    g.Counter("cp-hang"),
+	}
+}
+
+// Attach installs the armed fault classes into the node's component
+// hooks and enables the scheduler's defense machinery. Idempotent; a
+// zero spec attaches nothing and arms nothing.
+func (i *Injector) Attach(tc *core.TaiChi) {
+	if i.attached {
+		return
+	}
+	i.tc = tc
+	i.attached = true
+	if i.Spec.Zero() {
+		return
+	}
+
+	// Every armed injector gets the full defense: reclaim watchdog,
+	// probe fallback ladder, lost-IPI sweep.
+	tc.Sched.EnableDefense(core.DefaultDefenseConfig())
+
+	node := tc.Node
+	s := i.Spec
+
+	// Hardware-probe IRQ loss.
+	if s.ProbeMissRate > 0 && node.Probe != nil {
+		r := node.Stream("faults.probe")
+		node.Probe.MissCheck = func(int) bool {
+			if r.Float64() < s.ProbeMissRate {
+				i.probeMiss.Inc()
+				return true
+			}
+			return false
+		}
+	}
+
+	// Spurious reclaims: probe IRQs with no traffic behind them.
+	if s.SpuriousReclaimMTBF > 0 && node.Probe != nil {
+		r := node.Stream("faults.spurious")
+		cores := node.DPCores()
+		var arm func()
+		arm = func() {
+			node.Engine.Schedule(sim.Exponential(r, s.SpuriousReclaimMTBF), func() {
+				if node.Probe.InjectSpurious(cores[r.Intn(len(cores))].ID) {
+					i.spurious.Inc()
+				}
+				arm()
+			})
+		}
+		arm()
+	}
+
+	// IPI loss and delay.
+	if s.IPIDropRate > 0 || s.IPIDelayRate > 0 {
+		r := node.Stream("faults.ipi")
+		node.Kernel.IPIFault = func(kernel.CPUID, kernel.Vector) (bool, sim.Duration) {
+			if s.IPIDropRate > 0 && r.Float64() < s.IPIDropRate {
+				i.ipiDrop.Inc()
+				return true, 0
+			}
+			if s.IPIDelayRate > 0 && r.Float64() < s.IPIDelayRate {
+				i.ipiDelay.Inc()
+				return false, sim.Exponential(r, s.IPIDelayMean)
+			}
+			return false, 0
+		}
+	}
+
+	// VM-exit stalls past the 2 µs envelope. One shared stream keeps the
+	// draw sequence independent of which vCPU happens to exit.
+	if s.ExitStallRate > 0 {
+		r := node.Stream("faults.exit")
+		for _, v := range tc.Sched.VCPUs() {
+			v.ExitStall = func(*vcpu.VCPU) sim.Duration {
+				if r.Float64() < s.ExitStallRate {
+					i.exitStall.Inc()
+					return sim.Exponential(r, s.ExitStallMean)
+				}
+				return 0
+			}
+		}
+	}
+
+	// Lock-holder stalls: non-preemptible sections overstay.
+	if s.LockStallRate > 0 {
+		r := node.Stream("faults.lock")
+		node.Kernel.SegStretch = func(_ *kernel.Thread, kind kernel.SegKind, dur sim.Duration) sim.Duration {
+			if (kind == kernel.SegNonPreempt || kind == kernel.SegLock) &&
+				r.Float64() < s.LockStallRate {
+				i.lockStall.Inc()
+				return dur + sim.Exponential(r, s.LockStallMean)
+			}
+			return dur
+		}
+	}
+
+	// DP core offline/online events.
+	if s.CoreOfflineMTBF > 0 {
+		r := node.Stream("faults.offline")
+		cores := node.DPCores()
+		var arm func()
+		arm = func() {
+			node.Engine.Schedule(sim.Exponential(r, s.CoreOfflineMTBF), func() {
+				dp := cores[r.Intn(len(cores))]
+				if !dp.Down() {
+					i.offline.Inc()
+					tc.Sched.SetCoreDown(dp.ID, true)
+					node.Engine.Schedule(sim.Exponential(r, s.CoreOfflineMean), func() {
+						tc.Sched.SetCoreDown(dp.ID, false)
+					})
+				}
+				arm()
+			})
+		}
+		arm()
+	}
+
+	// CP crash/hang draws share one stream across all wrapped tasks.
+	if s.CPCrashRate > 0 || s.CPHangRate > 0 {
+		i.cpRNG = node.Stream("faults.cp")
+	}
+}
+
+// Attached reports whether Attach has run.
+func (i *Injector) Attached() bool { return i.attached }
+
+// WrapCP wraps a CP task program with the crash and hang fault classes:
+// at each segment boundary the task may die outright (crash) or wedge in
+// a long busy segment (hang) before resuming its real program. Returns
+// prog unchanged when those classes are unarmed or Attach has not run.
+func (i *Injector) WrapCP(prog kernel.Program) kernel.Program {
+	if i.cpRNG == nil {
+		return prog
+	}
+	r := i.cpRNG
+	s := i.Spec
+	return kernel.ProgramFunc(func(t *kernel.Thread) (kernel.Segment, bool) {
+		if s.CPCrashRate > 0 && r.Float64() < s.CPCrashRate {
+			i.cpCrash.Inc()
+			return kernel.Segment{}, false
+		}
+		if s.CPHangRate > 0 && r.Float64() < s.CPHangRate {
+			i.cpHang.Inc()
+			return kernel.Segment{
+				Kind: kernel.SegCompute,
+				Dur:  sim.Exponential(r, s.CPHangMean),
+				Note: "fault-hang",
+			}, true
+		}
+		return prog.Next(t)
+	})
+}

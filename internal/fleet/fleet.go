@@ -132,6 +132,12 @@ func RunWorkers(n int, baseSeed int64, workers int, member Member) *Aggregates {
 // experiment harnesses for independent parameter sweeps (the Figure 2 and
 // Figure 17 density sweeps). fn must confine its writes to per-index
 // state (e.g. its slot of a pre-sized results slice).
+//
+// A panicking fn never wedges or kills the pool: each call is recovered,
+// every remaining index still runs, and after the pool drains ForEach
+// re-panics on the caller's goroutine with the lowest panicking index —
+// the same index for every worker count, preserving the determinism
+// contract even for failures.
 func ForEach(n, workers int, fn func(idx int)) {
 	if n <= 0 {
 		return
@@ -142,28 +148,46 @@ func ForEach(n, workers int, fn func(idx int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				fn(i)
+	var mu sync.Mutex
+	panicIdx := -1
+	var panicVal any
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panicIdx < 0 || i < panicIdx {
+					panicIdx, panicVal = i, r
+				}
+				mu.Unlock()
 			}
 		}()
+		fn(i)
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			call(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					call(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
-	close(idx)
-	wg.Wait()
+	if panicIdx >= 0 {
+		panic(fmt.Sprintf("fleet: member %d panicked: %v", panicIdx, panicVal))
+	}
 }
 
 // Describe renders the fleet aggregates deterministically (names sorted),

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,6 +94,65 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		for i, v := range out {
 			if v != i+1 {
 				t.Fatalf("workers %d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	// Zero and negative member counts are no-ops, not hangs or panics.
+	for _, n := range []int{0, -3} {
+		called := false
+		ForEach(n, 4, func(int) { called = true })
+		if called {
+			t.Fatalf("n=%d: fn called", n)
+		}
+	}
+	// Negative worker counts select the default pool; more workers than
+	// members clamps to the member count. Both must still visit every index.
+	for _, workers := range []int{-5, 100} {
+		out := make([]int, 3)
+		ForEach(len(out), workers, func(i int) { out[i] = i + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers %d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+// TestForEachPanicSafety drives a member fn that panics on some indices:
+// the pool must not deadlock or die, every non-panicking index must still
+// run, and the re-panic must name the lowest panicking index regardless
+// of worker count.
+func TestForEachPanicSafety(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out := make([]bool, 20)
+		var msg string
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers %d: panic swallowed", workers)
+				}
+				msg = fmt.Sprint(r)
+			}()
+			ForEach(len(out), workers, func(i int) {
+				if i == 5 || i == 11 {
+					panic("boom")
+				}
+				out[i] = true
+			})
+		}()
+		if want := "fleet: member 5 panicked: boom"; msg != want {
+			t.Fatalf("workers %d: panic %q, want %q", workers, msg, want)
+		}
+		for i, v := range out {
+			if i == 5 || i == 11 {
+				continue
+			}
+			if !v {
+				t.Fatalf("workers %d: index %d skipped after panic", workers, i)
 			}
 		}
 	}

@@ -100,6 +100,19 @@ type Kernel struct {
 	// it to wake halted vCPUs when CP work appears.
 	OnEnqueue func(t *Thread)
 
+	// IPIFault, when non-nil, intercepts every hardware-path IPI delivery:
+	// it may drop the interrupt or add extra delivery latency. VecBoot is
+	// never offered to it (losing the registration ceremony would wedge a
+	// vCPU forever with no hardware analogue). Installed by the
+	// fault-injection layer only; nil in fault-free runs.
+	IPIFault func(dst CPUID, vec Vector) (drop bool, delay sim.Duration)
+
+	// SegStretch, when non-nil, may replace the duration of a segment as
+	// it is first installed — the fault-injection layer stretches
+	// non-preemptible and lock-hold segments with it to model lock-holder
+	// stalls. Nil in fault-free runs.
+	SegStretch func(t *Thread, kind SegKind, dur sim.Duration) sim.Duration
+
 	// execCPU is the CPU whose segment callback is currently running, so
 	// kernel work triggered from inside a callback (e.g. Thread.Signal →
 	// resched IPI) is attributed to the correct source CPU — which is what
@@ -110,7 +123,11 @@ type Kernel struct {
 	CtxSwitches  *metrics.Counter
 	IPIsSent     *metrics.Counter
 	IPIsDeferred *metrics.Counter
+	IPIsDropped  *metrics.Counter
 	Preemptions  *metrics.Counter
+	// WatchdogKicks counts idle CPUs recovered by the scheduler watchdog
+	// (StartSchedWatchdog) after a lost resched IPI.
+	WatchdogKicks *metrics.Counter
 }
 
 // New creates a kernel bound to the engine. The tracer may be nil.
@@ -126,7 +143,9 @@ func New(engine *sim.Engine, cfg Config, tracer *trace.Tracer) *Kernel {
 		CtxSwitches:     metrics.NewCounter("kernel.ctx_switches"),
 		IPIsSent:        metrics.NewCounter("kernel.ipis_sent"),
 		IPIsDeferred:    metrics.NewCounter("kernel.ipis_deferred"),
+		IPIsDropped:     metrics.NewCounter("kernel.ipis_dropped"),
 		Preemptions:     metrics.NewCounter("kernel.preemptions"),
+		WatchdogKicks:   metrics.NewCounter("kernel.watchdog_kicks"),
 	}
 	k.ipiHandlers[VecResched] = func(cpu CPUID, _ int64) {
 		if c := k.CPU(cpu); c != nil && c.powered && c.cur == nil {
@@ -336,6 +355,9 @@ func (k *Kernel) startSegment(c *CPU) {
 		}
 		t.seg = &seg
 		t.segRemaining = seg.Dur
+		if k.SegStretch != nil {
+			t.segRemaining = k.SegStretch(t, seg.Kind, seg.Dur)
+		}
 		t.segStarted = false
 	}
 	seg := t.seg
@@ -658,7 +680,16 @@ func (k *Kernel) SendIPI(src, dst CPUID, vec Vector, arg int64) {
 // for pCPU destinations. If the destination is unpowered at delivery
 // time, the interrupt posts and is delivered at the next PowerOn.
 func (k *Kernel) DeliverIPIDirect(dst CPUID, vec Vector, arg int64, seq int64) {
-	k.engine.Schedule(k.cfg.IPILatency, func() {
+	latency := k.cfg.IPILatency
+	if k.IPIFault != nil && vec != VecBoot {
+		drop, delay := k.IPIFault(dst, vec)
+		if drop {
+			k.IPIsDropped.Inc()
+			return
+		}
+		latency += delay
+	}
+	k.engine.Schedule(latency, func() {
 		c := k.CPU(dst)
 		if c == nil {
 			return
@@ -730,6 +761,27 @@ func (k *Kernel) DetectStuckSpinners() []StuckSpinner {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Spinner.ID < out[j].Spinner.ID })
 	return out
+}
+
+// StartSchedWatchdog arms a periodic sweep recovering CPUs wedged by a
+// lost resched IPI: makeRunnable sets a CPU's kicked flag when it sends
+// the kick, and if that IPI is dropped the flag never clears — the idle
+// CPU then ignores runnable work forever while wakeups skip it as
+// "already kicked". The sweep clears stale flags and reschedules. It is a
+// defense armed only when fault injection is active; the period should be
+// much larger than IPILatency so in-flight kicks are never mistaken for
+// lost ones (acting on one early is harmless, merely delivering the
+// reschedule before the IPI would have).
+func (k *Kernel) StartSchedWatchdog(period sim.Duration) *sim.Ticker {
+	return k.engine.NewTicker(period, func() {
+		for _, c := range k.cpus {
+			if c.kicked && c.Idle() && k.HasRunnableFor(c.ID) {
+				c.kicked = false
+				k.WatchdogKicks.Inc()
+				k.schedule(c)
+			}
+		}
+	})
 }
 
 // IdleCPUs returns the ids of online, powered, idle CPUs.

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is an ordered collection of named counters that renders as one
+// line. The fault-injection layer uses it for per-class injected-fault
+// accounting, and the scheduler defense for detected/recovered tallies —
+// both need a deterministic rendering (registration order, which is fixed
+// by construction order in a deterministic simulation) so fleet runs and
+// regression tests can compare output byte-for-byte.
+type Group struct {
+	name   string
+	order  []*Counter
+	byName map[string]*Counter
+}
+
+// NewGroup returns an empty counter group with a display name.
+func NewGroup(name string) *Group {
+	return &Group{name: name, byName: map[string]*Counter{}}
+}
+
+// Name returns the group's display name.
+func (g *Group) Name() string { return g.name }
+
+// Counter returns the named counter, creating it (in registration order)
+// on first use.
+func (g *Group) Counter(name string) *Counter {
+	if c, ok := g.byName[name]; ok {
+		return c
+	}
+	c := NewCounter(name)
+	g.byName[name] = c
+	g.order = append(g.order, c)
+	return c
+}
+
+// Counters returns the group's counters in registration order.
+func (g *Group) Counters() []*Counter { return g.order }
+
+// Total sums every counter in the group.
+func (g *Group) Total() uint64 {
+	var n uint64
+	for _, c := range g.order {
+		n += c.value
+	}
+	return n
+}
+
+// String renders "name: a=1 b=2" in registration order ("name: none" when
+// the group is empty).
+func (g *Group) String() string {
+	var b strings.Builder
+	b.WriteString(g.name)
+	b.WriteString(":")
+	if len(g.order) == 0 {
+		b.WriteString(" none")
+		return b.String()
+	}
+	for _, c := range g.order {
+		fmt.Fprintf(&b, " %s=%d", c.name, c.value)
+	}
+	return b.String()
+}

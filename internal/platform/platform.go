@@ -122,10 +122,50 @@ type Node struct {
 	byCore map[int]*dataplane.Core
 }
 
-// NewNode assembles a SmartNIC from options.
+// NewNode assembles a SmartNIC from options. It panics on an invalid
+// topology; New is the error-returning form for options that arrive from
+// config or flags.
 func NewNode(opts Options) *Node {
-	if len(opts.Topology.NetCores) == 0 && len(opts.Topology.StorCores) == 0 {
-		panic("platform: topology has no DP cores")
+	n, err := New(opts)
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
+}
+
+// validateTopology checks the core layout: at least one DP core, and no
+// physical core id claimed twice (within or across the net, storage, and
+// CP sets).
+func validateTopology(t Topology) error {
+	if len(t.NetCores) == 0 && len(t.StorCores) == 0 {
+		return fmt.Errorf("platform: topology has no DP cores")
+	}
+	seen := map[int]string{}
+	claim := func(set string, ids []int) error {
+		for _, id := range ids {
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("platform: core %d claimed by both %s and %s", id, prev, set)
+			}
+			seen[id] = set
+		}
+		return nil
+	}
+	for _, s := range []struct {
+		name string
+		ids  []int
+	}{{"net", t.NetCores}, {"stor", t.StorCores}, {"cp", t.CPCores}} {
+		if err := claim(s.name, s.ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New assembles a SmartNIC from options, reporting an invalid topology
+// as an error instead of panicking.
+func New(opts Options) (*Node, error) {
+	if err := validateTopology(opts.Topology); err != nil {
+		return nil, err
 	}
 	engine := sim.NewEngine()
 	tracer := trace.New(opts.TraceLimit)
@@ -167,11 +207,13 @@ func NewNode(opts Options) *Node {
 	n.Pipe = accel.NewPipeline(engine, opts.Accel, n.Probe, tracer, func(core int, p *accel.Packet) {
 		c := n.byCore[core]
 		if c == nil {
+			// Genuine internal invariant: the pipeline only routes to cores
+			// registered above, so this is a mis-wired experiment.
 			panic(fmt.Sprintf("platform: packet for unknown DP core %d", core))
 		}
 		c.Deliver(p)
 	})
-	return n
+	return n, nil
 }
 
 // DPCore returns the data-plane core with the given physical id, or nil.

@@ -123,16 +123,24 @@ type VCPU struct {
 	core       int // physical core backing the vCPU, -1 when none
 	sliceTimer *sim.Event
 	exitCb     func(v *VCPU, reason ExitReason)
+	exitEv     *sim.Event // in-flight VM-exit completion
+	exitReason ExitReason // reason of the in-flight exit
 
 	// OnWake fires when an interrupt wakes a halted vCPU; the scheduler
 	// uses it to move the vCPU into its runnable queue.
 	OnWake func(v *VCPU)
+
+	// ExitStall, when non-nil, returns extra VM-exit latency beyond
+	// Costs.Exit — the fault-injection layer's "exit stalls past the 2 µs
+	// envelope" class. Nil in fault-free runs.
+	ExitStall func(v *VCPU) sim.Duration
 
 	// Stats.
 	Entries     uint64
 	Exits       uint64
 	ExitsByWhy  [5]uint64
 	ForcedPosts uint64 // interrupts delivered via posted-interrupt fast path
+	Teardowns   uint64 // forced exit completions (watchdog escalation)
 }
 
 // New wraps the kernel CPU (which must be virtual) as a vCPU context.
@@ -245,19 +253,50 @@ func (v *VCPU) beginExit(reason ExitReason) {
 	v.Exits++
 	v.ExitsByWhy[reason]++
 	v.tracer.Emit(v.engine.Now(), trace.KindVMExit, v.core, int64(v.cpu.ID), reason.String())
-	v.engine.Schedule(v.costs.Exit, func() {
-		v.core = -1
-		if reason == ExitHalt {
-			v.state = StateHalted
-		} else {
-			v.state = StateReady
-		}
-		cb := v.exitCb
-		v.exitCb = nil
-		if cb != nil {
-			cb(v, reason)
-		}
-	})
+	cost := v.costs.Exit
+	if v.ExitStall != nil {
+		cost += v.ExitStall(v)
+	}
+	v.exitReason = reason
+	v.exitEv = v.engine.Schedule(cost, func() { v.completeExit(reason) })
+}
+
+// completeExit finishes the VM-exit transition: the core is free and the
+// scheduler callback fires.
+func (v *VCPU) completeExit(reason ExitReason) {
+	v.exitEv = nil
+	v.core = -1
+	if reason == ExitHalt {
+		v.state = StateHalted
+	} else {
+		v.state = StateReady
+	}
+	cb := v.exitCb
+	v.exitCb = nil
+	if cb != nil {
+		cb(v, reason)
+	}
+}
+
+// Teardown force-completes the vCPU's departure from its core *now*,
+// bypassing the costed (and possibly stalled) exit transition — the
+// hypervisor destroys and recreates the vCPU context instead of waiting
+// for it to drain. It is the last rung of the reclaim watchdog's
+// escalation ladder (posted interrupt → forced IPI → teardown). Reports
+// whether a teardown was actually performed.
+func (v *VCPU) Teardown() bool {
+	if v.state == StateRunning || v.state == StateEntering {
+		v.ForceExit(ExitForced)
+	}
+	if v.state != StateExiting {
+		return false
+	}
+	v.Teardowns++
+	if v.exitEv != nil {
+		v.exitEv.Cancel()
+	}
+	v.completeExit(v.exitReason)
+	return true
 }
 
 // InjectInterrupt delivers an interrupt to the vCPU. Semantics follow the

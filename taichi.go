@@ -34,6 +34,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -64,6 +65,15 @@ type Result = experiments.Result
 // Experiment couples an experiment id with its harness.
 type Experiment = experiments.Named
 
+// FaultSpec declares per-class fault rates for the deterministic fault
+// injector (probe misses, IPI loss, exit stalls, CP crashes, core
+// offline events, ...). The zero value injects nothing.
+type FaultSpec = faults.Spec
+
+// FaultInjector wires a FaultSpec into a System and tallies injected
+// faults per class.
+type FaultInjector = faults.Injector
+
 // Quick and Full are the standard experiment scales.
 var (
 	Quick = experiments.Quick
@@ -75,9 +85,22 @@ var (
 func New(seed int64) *System { return core.NewDefault(seed) }
 
 // NewWithConfig builds a Tai Chi node from explicit platform options and
-// scheduler configuration.
+// scheduler configuration. It panics on invalid input; TryNewWithConfig
+// is the error-returning form.
 func NewWithConfig(opts Options, cfg Config) *System {
 	return core.New(platform.NewNode(opts), cfg)
+}
+
+// TryNewWithConfig builds a Tai Chi node from explicit platform options
+// and scheduler configuration, reporting invalid topologies (no DP
+// cores, duplicate core ids) and invalid scheduler configurations (empty
+// vCPU pool, vCPU id collisions) as errors instead of panicking.
+func TryNewWithConfig(opts Options, cfg Config) (*System, error) {
+	node, err := platform.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.TryNew(node, cfg)
 }
 
 // NewStatic builds the static-partitioning baseline node.
@@ -90,6 +113,17 @@ func DefaultOptions() Options { return platform.DefaultOptions() }
 // DefaultConfig returns the paper's Tai Chi tuning (50 µs initial slice,
 // adaptive yield, lock rescue, posted interrupts).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewFaultInjector builds a deterministic fault injector; call Attach on
+// a System to arm it (and the scheduler's graceful-degradation defense).
+func NewFaultInjector(spec FaultSpec) *FaultInjector { return faults.NewInjector(spec) }
+
+// ParseFaultSpec parses the -faults flag syntax ("probe-miss=0.2,..."),
+// "default" for the standard chaos profile, or "off".
+func ParseFaultSpec(text string) (FaultSpec, error) { return faults.ParseSpec(text) }
+
+// DefaultFaultSpec returns the moderate mixed-fault chaos profile.
+func DefaultFaultSpec() FaultSpec { return faults.DefaultSpec() }
 
 // Experiments returns every table/figure harness in paper order.
 func Experiments() []Experiment { return experiments.Registry() }
