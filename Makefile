@@ -1,16 +1,25 @@
 # Development gate for the Tai Chi reproduction.
 #
-# `make check` is the pre-commit bar: formatting, vet, build, and the
-# full test suite under the race detector. The race detector is
-# load-bearing — fleet members and experiment harnesses run concurrently
-# (internal/fleet worker pool), so a data race is a correctness bug, not
-# a style issue. See README.md "Performance".
+# `make check` is the pre-commit bar: formatting, vet, the determinism
+# lint suite, build, and the full test suite under the race detector.
+# The race detector is load-bearing — fleet members and experiment
+# harnesses run concurrently (internal/fleet worker pool), so a data
+# race is a correctness bug, not a style issue. See README.md
+# "Performance". The lint gate is equally load-bearing: every replay
+# and byte-identity claim rests on the determinism contract that
+# taichilint enforces mechanically (ARCHITECTURE.md §7).
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet lint build test race bench
 
-check: fmt vet build race
+check: fmt vet lint build race
+
+# Determinism lint: wall clocks, global RNG, unordered map iteration,
+# core concurrency, and seedless constructors. Zero diagnostics is the
+# only passing state; exemptions require a //taichi:allow directive.
+lint:
+	$(GO) run ./cmd/taichilint ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level draw functions, all
+// of which consume the process-global source. The global source is
+// shared mutable state: any draw anywhere perturbs every later draw,
+// so two runs agree only if every call site executes in exactly the
+// same order — precisely the coupling the per-stream RNG design
+// (sim.RNG.Stream) exists to break.
+var globalRandFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64",
+	"Float32", "Float64", "NormFloat64", "ExpFloat64",
+	"Perm", "Shuffle", "Read", "Seed",
+}
+
+// envSeedPkgs are packages whose values must never flow into an RNG
+// seed: they read the environment (clock, PID, host randomness), so a
+// seed derived from them is different on every run by construction.
+var envSeedPkgs = map[string]string{
+	"time":        "the wall clock",
+	"os":          "the process environment",
+	"crypto/rand": "host randomness",
+}
+
+// GlobalRand forbids the process-global math/rand source and
+// environment-derived seeds. Every random draw in the simulator must
+// come from a named per-stream *rand.Rand handed down from the
+// experiment seed (sim.RNG.Stream, faults.Injector streams), and every
+// rand.NewSource argument must be a pure function of configuration —
+// never of time.Now, os.Getpid, or crypto/rand.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid global math/rand draws (rand.Intn, rand.Seed, ...) and rand.NewSource " +
+		"seeds derived from the environment; use the named per-stream RNGs (sim.RNG.Stream)",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pass.PkgFunc(call, "math/rand", globalRandFuncs...); ok {
+				pass.Report(call.Pos(),
+					"rand.%s draws from the process-global source; use a named per-stream RNG (sim.RNG.Stream)", name)
+				return true
+			}
+			if _, ok := pass.PkgFunc(call, "math/rand", "NewSource"); ok && len(call.Args) == 1 {
+				checkSeedArg(pass, call.Args[0])
+			}
+			return true
+		})
+	}
+}
+
+// checkSeedArg walks a rand.NewSource argument and reports any
+// subexpression that resolves into an environment-reading package. A
+// constant, a seed parameter, or arithmetic over either is fine; a
+// time.Now().UnixNano() or os.Getpid() anywhere in the expression is
+// the classic nondeterministic-seed bug.
+func checkSeedArg(pass *Pass, arg ast.Expr) {
+	reported := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if what, bad := envSeedPkgs[obj.Pkg().Path()]; bad {
+			reported = true
+			pass.Report(id.Pos(),
+				"rand.NewSource seed derived from %s (%s.%s) is different on every run; seeds must be a pure function of configuration",
+				what, obj.Pkg().Name(), obj.Name())
+		}
+		return !reported
+	})
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// concurrencyPkgs are import paths whose mere use inside the core is a
+// violation: the deterministic engine is single-threaded by contract,
+// so synchronization primitives there either do nothing or paper over
+// a scheduling dependency the replay cannot reproduce.
+var concurrencyPkgs = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+// Goroutine forbids concurrency inside the deterministic event core
+// (internal/sim, kernel, vcpu, core, accel, dataplane, controlplane,
+// faults): no `go` statements, no channel creation, sends, receives or
+// selects, and no sync/sync/atomic use. The simulator models
+// concurrency *in* simulated time (kernel threads, vCPUs, spinlocks
+// are all model objects); host goroutines would interleave
+// nondeterministically underneath that model. Real parallelism lives
+// in internal/fleet, which runs whole deterministic simulations on
+// worker goroutines and merges their results.
+//
+// This rule has no //taichi:allow escape: it only applies inside the
+// core, where directives are ignored by design.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc: "forbid go statements, channel operations and sync primitives in the " +
+		"deterministic core; host concurrency is confined to internal/fleet and cmd/",
+	Run: runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	if !isCorePackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && concurrencyPkgs[path] {
+				pass.Report(imp.Pos(),
+					"import of %s in the deterministic core; host synchronization belongs in internal/fleet", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(n.Pos(),
+					"go statement in the deterministic core; spawn simulated threads (kernel.Spawn) or move concurrency to internal/fleet")
+			case *ast.SendStmt:
+				pass.Report(n.Pos(), "channel send in the deterministic core")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Report(n.Pos(), "channel receive in the deterministic core")
+				}
+			case *ast.SelectStmt:
+				pass.Report(n.Pos(), "select statement in the deterministic core")
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Report(n.Pos(), "range over channel in the deterministic core")
+					}
+				}
+			case *ast.CallExpr:
+				// make(chan T) — creating a channel is as much a
+				// violation as using one.
+				if isBuiltin(pass, n.Fun, "make") && len(n.Args) >= 1 {
+					if tv, ok := pass.Info.Types[n.Args[0]]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							pass.Report(n.Pos(), "channel creation in the deterministic core")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,249 @@
+// Package lint implements taichilint, a determinism-lint suite that
+// mechanically enforces the simulator's bit-for-bit replay contract.
+//
+// Everything this reproduction claims — the lend/reclaim results, the
+// fleet runner's byte-identical parallel output, and the chaos runs'
+// bit-for-bit replay — rests on one invariant: no wall-clock time, no
+// global RNG, no unordered map iteration, and no unsynchronized
+// goroutines may leak into the deterministic event core. This package
+// turns that invariant from a review convention into a checked
+// property.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is built on the standard library
+// only, because the module is intentionally dependency-free. Five
+// analyzers ship with it:
+//
+//	walltime   — forbid wall-clock reads (time.Now, time.Sleep, …)
+//	globalrand — forbid global math/rand state and env-derived seeds
+//	maporder   — forbid order-sensitive iteration over Go maps
+//	goroutine  — forbid concurrency primitives in the deterministic core
+//	seedflow   — exported constructors reaching randomness must take a seed
+//
+// A site that is legitimately exempt (for example wall-clock progress
+// timing in cmd/) opts out with a directive comment on, or directly
+// above, the offending line:
+//
+//	start := time.Now() //taichi:allow walltime — operator-facing wall-clock report
+//
+// Directives name the rule they suppress, so an allowance for walltime
+// never silences maporder. See ARCHITECTURE.md §7 for the contract.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one determinism rule. It is deliberately
+// shaped like golang.org/x/tools/go/analysis.Analyzer so the suite can
+// migrate to the upstream framework wholesale if the module ever takes
+// on the dependency.
+type Analyzer struct {
+	// Name identifies the rule. It is printed with every diagnostic
+	// and is the token a //taichi:allow directive must name to
+	// suppress the rule.
+	Name string
+
+	// Doc is a one-paragraph description of the rule and its
+	// rationale, shown by `taichilint -help`.
+	Doc string
+
+	// Run inspects one package and reports violations through
+	// pass.Report. It must be deterministic: same package, same
+	// diagnostics, same order.
+	Run func(pass *Pass)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      *[]Diagnostic
+	directives directiveIndex
+}
+
+// A Diagnostic is one rule violation at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Report records a violation at pos unless a //taichi:allow directive
+// for this analyzer covers the line (same line or the line directly
+// above — the two placements a reviewer can see next to the code).
+//
+// Inside the deterministic event core (internal/sim, kernel, vcpu,
+// core, accel, dataplane, controlplane, faults) directives are
+// deliberately ignored: there is no legitimate exemption from the
+// replay contract in the packages whose state IS the replay, so the
+// escape hatch does not exist there.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if !isCorePackage(p.Pkg.Path()) &&
+		p.directives.allows(position.Filename, position.Line, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves an identifier to its types.Object via Uses then
+// Defs, the common lookup order for analyzers.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// PkgFunc reports whether the call expression invokes the package-level
+// function pkgPath.name (not a method of the same name — methods have a
+// receiver and are excluded on purpose: rand.Intn the global is banned,
+// (*rand.Rand).Intn the seeded stream is the required replacement).
+func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// directivePrefix introduces an allow directive. The full grammar is
+//
+//	//taichi:allow rule[,rule...] [— free-form justification]
+//
+// The justification is not parsed but its presence is the convention:
+// every allowance in this repository documents why the site is exempt.
+const directivePrefix = "taichi:allow"
+
+// directiveIndex maps filename → line → set of allowed rule names.
+type directiveIndex map[string]map[int]map[string]bool
+
+func (d directiveIndex) allows(file string, line int, rule string) bool {
+	lines := d[file]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line and the line directly below it
+	// (i.e. a comment above the statement), mirroring //nolint and
+	// //lint:ignore placement conventions.
+	return lines[line][rule] || lines[line-1][rule]
+}
+
+func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				// Everything up to an em/double dash is the rule list;
+				// the remainder is the human justification.
+				for _, cut := range []string{"—", "--"} {
+					if i := strings.Index(rest, cut); i >= 0 {
+						rest = rest[:i]
+					}
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				for _, r := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position then analyzer name, so output is
+// stable regardless of load order — the linter holds itself to the
+// determinism bar it enforces.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				diags:      &diags,
+				directives: idx,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full determinism suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallTime,
+		GlobalRand,
+		MapOrder,
+		Goroutine,
+		SeedFlow,
+	}
+}

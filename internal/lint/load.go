@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes. Test files are deliberately excluded from analysis: they
+// cannot leak nondeterminism into simulator output, and fixed literal
+// seeds (rand.NewSource(1)) are idiomatic there.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load expands the go package patterns (./..., ./internal/..., …)
+// relative to dir, parses and type-checks every matched package, and
+// returns them in the deterministic order `go list` produces.
+//
+// The module has no external dependencies, so the loader needs only
+// two import sources: the standard library (type-checked from source
+// via go/importer, which works offline) and the module's own packages,
+// which are resolved recursively through the same loader. This is a
+// hand-rolled, stdlib-only stand-in for golang.org/x/tools/go/packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := newLoader(dir)
+	listed, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.typecheck(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+type loader struct {
+	dir    string
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	module string
+	// byPath caches type-checked module packages so diamond imports
+	// (core → kernel, vcpu → kernel) check kernel once.
+	byPath map[string]*Package
+	// listing caches go list results keyed by import path.
+	listing map[string]*listedPackage
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		dir:     dir,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		byPath:  map[string]*Package{},
+		listing: map[string]*listedPackage{},
+	}
+}
+
+// list runs `go list -json` once for the given patterns and decodes the
+// concatenated JSON stream.
+func (l *loader) list(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+		l.listing[lp.ImportPath] = lp
+		if l.module == "" && strings.Contains(lp.ImportPath, "/internal/") {
+			l.module = lp.ImportPath[:strings.Index(lp.ImportPath, "/internal/")]
+		}
+	}
+	if l.module == "" && len(listed) > 0 {
+		// Root-package-only pattern: the module path is the import
+		// path itself (the repo's facade package lives at the root).
+		l.module = listed[0].ImportPath
+	}
+	return listed, nil
+}
+
+func (l *loader) typecheck(lp *listedPackage) (*Package, error) {
+	if pkg, ok := l.byPath[lp.ImportPath]; ok {
+		return pkg, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg := &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.byPath[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the loader to types.ImporterFrom: module-local
+// imports recurse into the loader, everything else (the standard
+// library) goes to the source importer.
+type loaderImporter loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*loader)(li)
+	if l.module == "" || (path != l.module && !strings.HasPrefix(path, l.module+"/")) {
+		return l.std.ImportFrom(path, srcDir, mode)
+	}
+	lp, ok := l.listing[path]
+	if !ok {
+		listed, err := l.list([]string{path})
+		if err != nil {
+			return nil, err
+		}
+		if len(listed) != 1 || listed[0].Error != nil {
+			return nil, fmt.Errorf("cannot resolve module import %q", path)
+		}
+		lp = listed[0]
+	}
+	pkg, err := l.typecheck(lp)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}

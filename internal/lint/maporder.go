@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder forbids order-sensitive iteration over Go maps. Map range
+// order is randomized per run, so any map loop whose effect depends on
+// visit order — writing simulation state, emitting events or metrics,
+// appending rendered output — breaks bit-for-bit replay.
+//
+// Two loop shapes are structurally order-insensitive and therefore
+// exempt without a directive:
+//
+//   - the collect-then-sort idiom: a body that only appends the key to
+//     a slice (which the caller then sorts — metrics.SortedKeys is the
+//     canonical helper, and is itself built from this shape);
+//   - commutative integer accumulation: counters and bitmask folds
+//     (n++, total += v, mask |= bit) over integer lvalues. Floating
+//     point is NOT exempt: float addition does not commute bitwise, so
+//     a float sum over map order is a replay bug even though it looks
+//     like an accumulator.
+//
+// Everything else must iterate `for _, k := range metrics.SortedKeys(m)`
+// (or an explicitly sorted key slice) instead.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive `for range` over maps; iterate metrics.SortedKeys(m) " +
+		"or sorted key slices (exempt: key-collection for sorting, commutative integer accumulation)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(pass, rs) || isCommutativeAccumulation(pass, rs.Body) {
+				return true
+			}
+			pass.Report(rs.Pos(),
+				"range over map visits keys in randomized order; iterate metrics.SortedKeys or a sorted key slice")
+			return true
+		})
+	}
+}
+
+// isKeyCollection matches the exact collect-keys-for-sorting shape:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The range value must be unused and the body must be the single
+// self-append of the key.
+func isKeyCollection(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil && !isBlank(rs.Value) {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) < 2 {
+		return false
+	}
+	// append's first argument must be the assignment target (the
+	// self-append shape), and the appended values may only depend on
+	// the key.
+	if exprPath(assign.Lhs[0]) == "" || exprPath(assign.Lhs[0]) != exprPath(call.Args[0]) {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if usesOtherLocals(pass, arg, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// usesOtherLocals reports whether expr references any identifier other
+// than the range key, package names, or universe names (conversions
+// like string(k) stay exempt; folding in a second variable does not).
+func usesOtherLocals(pass *Pass, expr ast.Expr, key *ast.Ident) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if id.Name == key.Name {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		switch obj.(type) {
+		case nil, *types.PkgName, *types.Builtin, *types.TypeName, *types.Nil:
+			return true
+		}
+		if obj.Parent() == types.Universe {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isCommutativeAccumulation reports whether every statement in the
+// body is an order-independent integer fold: n++, n--, x += e, x |= e,
+// x &= e, x ^= e with an integer lvalue and a call-free right-hand
+// side, optionally behind call-free if guards (a guarded counter is a
+// sum of indicator functions, which commutes). Such loops produce the
+// same bits in any visit order. Floating-point accumulation is never
+// exempt — float addition is order-sensitive in the low bits.
+func isCommutativeAccumulation(pass *Pass, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	return commutativeStmts(pass, body.List)
+}
+
+func commutativeStmts(pass *Pass, stmts []ast.Stmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			default:
+				return false
+			}
+			if len(s.Lhs) != 1 || !isIntegerExpr(pass, s.Lhs[0]) || containsCall(s.Rhs[0]) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || containsCall(s.Cond) {
+				return false
+			}
+			if !commutativeStmts(pass, s.Body.List) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !commutativeStmts(pass, e.List) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !commutativeStmts(pass, []ast.Stmt{e}) {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exprPath renders an identifier or selector chain (x, x.y.z) for
+// structural comparison; any other expression renders as "".
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

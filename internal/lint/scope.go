@@ -1,0 +1,52 @@
+package lint
+
+import "strings"
+
+// corePackages names the deterministic event core: the packages whose
+// state transitions must replay bit-for-bit from (config, seed) alone.
+// Concurrency and environment reads are confined to internal/fleet
+// (the worker pool, which only merges deterministic per-member
+// results) and to cmd/ front-ends.
+var corePackages = map[string]bool{
+	"sim":          true,
+	"kernel":       true,
+	"vcpu":         true,
+	"core":         true,
+	"accel":        true,
+	"dataplane":    true,
+	"controlplane": true,
+	"faults":       true,
+}
+
+// simPackages extends the core with the model layers that feed it:
+// anything under internal/ except the explicitly-concurrent fleet
+// runner. These packages may not read wall clocks or global RNG state,
+// but (unlike the core) the broader set is not subject to the
+// goroutine rule — fleet needs sync, and experiments drive fleet.
+func isSimPackage(path string) bool {
+	i := strings.Index(path, "/internal/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("/internal/"):]
+	head := rest
+	if j := strings.Index(rest, "/"); j >= 0 {
+		head = rest[:j]
+	}
+	return head != "fleet"
+}
+
+// isCorePackage reports whether path is in the deterministic event
+// core (see corePackages).
+func isCorePackage(path string) bool {
+	i := strings.Index(path, "/internal/")
+	if i < 0 {
+		return false
+	}
+	rest := path[i+len("/internal/"):]
+	head := rest
+	if j := strings.Index(rest, "/"); j >= 0 {
+		head = rest[:j]
+	}
+	return corePackages[head]
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow flags exported constructors in simulation packages that
+// reach a randomness source without taking one. A `NewFoo()` that
+// quietly calls rand.New or derives a stream internally has invented a
+// seed the experiment harness never saw — its draws cannot be replayed
+// or varied across fleet members. Constructors that consume randomness
+// must say so in their signature: a seed parameter, a *rand.Rand /
+// rand.Source, an *sim.RNG, or a config struct carrying one.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc: "exported New* constructors in sim packages that reach a randomness source " +
+		"must take a seed, *rand.Rand or RNG parameter so draws replay from the experiment seed",
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) {
+	if !isSimPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || fn.Body == nil {
+				continue
+			}
+			if !fn.Name.IsExported() || !strings.HasPrefix(fn.Name.Name, "New") {
+				continue
+			}
+			if hasSeedParam(pass, fn) {
+				continue
+			}
+			if pos, what, reaches := reachesRandomness(pass, fn.Body); reaches {
+				pass.Report(pos,
+					"exported constructor %s reaches a randomness source (%s) but takes no seed or RNG parameter; thread the experiment seed through the signature", fn.Name.Name, what)
+			}
+		}
+	}
+}
+
+// hasSeedParam reports whether any parameter carries seed material:
+// its name mentions seed/rng/rand, its type is an RNG type, or it is a
+// (pointer to a) struct with such a field — the config-struct pattern.
+func hasSeedParam(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if isSeedName(name.Name) {
+				return true
+			}
+		}
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isRNGType(tv.Type) || isStreamProvider(tv.Type) {
+			return true
+		}
+		if st, ok := deref(tv.Type).Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if isSeedName(fld.Name()) || isRNGType(fld.Type()) || isStreamProvider(fld.Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isStreamProvider reports whether t exposes the repository's named
+// per-stream RNG contract — a `Stream(name) *rand.Rand` method (the
+// shape of platform.Node, core.TaiChi, cluster.Host, …). A parameter
+// carrying it IS the seed: streams derive deterministically from the
+// experiment seed through it.
+func isStreamProvider(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Stream")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isRNGType(sig.Results().At(0).Type())
+}
+
+func isSeedName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "seed") ||
+		strings.Contains(lower, "rng") ||
+		strings.Contains(lower, "rand")
+}
+
+// isRNGType recognizes the randomness-carrying types a constructor may
+// legitimately accept: math/rand's Rand and Source, and any named type
+// whose name mentions RNG (sim.RNG and wrappers).
+func isRNGType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "math/rand" {
+		return obj.Name() == "Rand" || obj.Name() == "Source"
+	}
+	return strings.Contains(strings.ToUpper(obj.Name()), "RNG")
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// reachesRandomness scans a constructor body for contact with a
+// randomness source: any reference into math/rand, or any call whose
+// result is an RNG type (node.Stream("x"), sim.NewRNG(...)).
+func reachesRandomness(pass *Pass, body *ast.BlockStmt) (pos token.Pos, what string, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.ObjectOf(n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "math/rand" {
+				pos, what, found = n.Pos(), "math/rand."+obj.Name(), true
+				return false
+			}
+		case *ast.CallExpr:
+			if tv, ok := pass.Info.Types[ast.Expr(n)]; ok && tv.Type != nil && isRNGType(tv.Type) {
+				pos, what, found = n.Pos(), "a call returning "+tv.Type.String(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, what, found
+}

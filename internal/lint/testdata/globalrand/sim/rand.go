@@ -1,0 +1,32 @@
+// Package fixture exercises the globalrand analyzer (type-checked as
+// repro/internal/workload): global math/rand draws and
+// environment-derived seeds are banned; seeded per-stream draws pass.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func globalDraws(seed int64) {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global source`
+	rand.Seed(seed)                    // want `rand\.Seed draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+}
+
+func seededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func envSeeds() {
+	_ = rand.NewSource(time.Now().UnixNano()) // want `seed derived from the wall clock`
+	_ = rand.NewSource(int64(os.Getpid()))    // want `seed derived from the process environment`
+}
+
+func goodSeeds(seed int64, member int) {
+	_ = rand.NewSource(42)
+	_ = rand.NewSource(seed ^ int64(member)*0x9E3779B9)
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises the goroutine analyzer inside the
+// deterministic core (type-checked as repro/internal/sim): all host
+// concurrency is banned there, with no directive escape.
+package fixture
+
+import "sync" // want `import of sync in the deterministic core`
+
+var mu sync.Mutex
+
+func work() { mu.Lock() }
+
+func spawn() {
+	go work()            // want `go statement in the deterministic core`
+	ch := make(chan int) // want `channel creation in the deterministic core`
+	ch <- 1              // want `channel send in the deterministic core`
+	<-ch                 // want `channel receive in the deterministic core`
+	for range ch {       // want `range over channel in the deterministic core`
+	}
+	select {} // want `select statement in the deterministic core`
+}

@@ -1,0 +1,20 @@
+// Package fixture holds the same constructs as the core fixture but is
+// type-checked as repro/internal/fleet, where host concurrency is the
+// point: the analyzer must stay silent (no want comments anywhere).
+package fixture
+
+import "sync"
+
+func fanOut(n int, run func(int)) {
+	var wg sync.WaitGroup
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i)
+			results <- i
+		}(i)
+	}
+	wg.Wait()
+}

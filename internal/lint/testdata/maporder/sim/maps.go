@@ -1,0 +1,83 @@
+// Package fixture exercises the maporder analyzer (type-checked as
+// repro/internal/metrics): order-sensitive map iteration is banned;
+// the collect-then-sort idiom and commutative integer folds pass.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func render(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want `range over map visits keys in randomized order`
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+func sortedRender(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+func countActive(m map[string]bool) int {
+	n := 0
+	for _, active := range m {
+		if active {
+			n++
+		} else {
+			n--
+		}
+	}
+	return n
+}
+
+func tally(m map[string]int) map[int]uint64 {
+	out := map[int]uint64{}
+	for _, v := range m {
+		out[v]++
+	}
+	return out
+}
+
+// Floating-point accumulation does not commute bitwise, so it is never
+// exempt even though it looks like a counter.
+func sumLatency(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map visits keys in randomized order`
+		total += v
+	}
+	return total
+}
+
+// Calls on the right-hand side may observe order; not exempt.
+func sumWeighted(m map[string]int, weigh func(int) int) int {
+	n := 0
+	for _, v := range m { // want `range over map visits keys in randomized order`
+		n += weigh(v)
+	}
+	return n
+}
+
+// A site the analyzer cannot prove order-insensitive can document
+// itself with a directive (honored here — metrics is outside the
+// eight-package deterministic core).
+func maxValue(m map[string]int) int {
+	best := -1
+	//taichi:allow maporder — max over ints is order-insensitive despite the comparison shape
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

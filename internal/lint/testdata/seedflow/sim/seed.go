@@ -1,0 +1,58 @@
+// Package fixture exercises the seedflow analyzer (type-checked as
+// repro/internal/vcpu): exported New* constructors that reach
+// randomness must take seed material through their signature.
+package fixture
+
+import "math/rand"
+
+type widget struct{ r *rand.Rand }
+
+// Bad: invents a seed the experiment harness never saw.
+func NewWidget() *widget {
+	return &widget{r: rand.New(rand.NewSource(1))} // want `NewWidget reaches a randomness source`
+}
+
+// Bad: the draw happens inline but is just as unreplayble.
+func NewJittered() int {
+	return rand.New(rand.NewSource(7)).Intn(100) // want `NewJittered reaches a randomness source`
+}
+
+// Good: seed parameter.
+func NewSeeded(seed int64) *widget {
+	return &widget{r: rand.New(rand.NewSource(seed))}
+}
+
+// Good: caller hands down the stream.
+func NewFromStream(r *rand.Rand) *widget {
+	return &widget{r: r}
+}
+
+// Good: config struct carries the seed.
+type Config struct {
+	Seed int64
+}
+
+func NewFromConfig(cfg Config) *widget {
+	return &widget{r: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Good: the host exposes the named per-stream RNG contract, so the
+// seed flows through it.
+type host interface {
+	Stream(name string) *rand.Rand
+}
+
+func NewFromHost(h host) *widget {
+	return &widget{r: h.Stream("widget")}
+}
+
+// Unexported constructors and non-constructor functions are out of
+// scope for this rule (walltime/globalrand still cover their bodies).
+func newScratch() *widget {
+	return &widget{r: rand.New(rand.NewSource(3))}
+}
+
+// Good: no randomness reached at all.
+func NewInert() *widget {
+	return &widget{}
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises the walltime analyzer outside the
+// internal tree (type-checked as repro/cmd/tool), where the
+// //taichi:allow directive is the sanctioned opt-in for operator-facing
+// progress timing.
+package fixture
+
+import "time"
+
+func report() time.Duration {
+	start := time.Now() // want `time\.Now reads the host wall clock`
+	//taichi:allow walltime — operator-facing progress timing, silenced by the directive above
+	elapsed := time.Since(start)
+	return elapsed
+}
+
+func sameLineDirective() time.Time {
+	return time.Now() //taichi:allow walltime — same-line placement also silences
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the walltime analyzer inside the
+// deterministic core (type-checked as repro/internal/kernel), where no
+// allow directive may silence it.
+package fixture
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want `time\.Now reads the host wall clock`
+}
+
+func sleeps() {
+	//taichi:allow walltime — ignored on purpose: no escape hatch inside the core
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host wall clock`
+}
+
+func waits() {
+	<-time.After(time.Second) // want `time\.After reads the host wall clock`
+}
+
+// Pure value construction never touches the clock and is not flagged.
+func pureValues() time.Time {
+	d := 3 * time.Second
+	_ = d
+	return time.Unix(0, 0)
+}
+
+// A method that merely shares a banned name is not flagged: the rule
+// resolves the callee to package time, not to the identifier text.
+type simClock struct{ ticks int64 }
+
+func (c simClock) Now() int64 { return c.ticks }
+
+func usesSimClock() int64 {
+	var c simClock
+	return c.Now()
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level functions in time that read or
+// depend on the host's clock. Pure value constructors (time.Duration
+// arithmetic, time.Unix, time.Date) are fine: they are deterministic
+// functions of their arguments.
+var wallClockFuncs = []string{
+	"Now", "Since", "Until",
+	"Sleep", "After", "AfterFunc", "Tick",
+	"NewTimer", "NewTicker",
+}
+
+// WallTime forbids reading the host wall clock. Simulated time is the
+// only clock the model may observe (internal/sim.Engine.Now); a single
+// time.Now in an event handler makes two runs of the same seed
+// diverge, which silently voids the fleet runner's byte-identical
+// output guarantee and every chaos-replay claim built on it.
+//
+// Wall-clock timing is legal only for operator-facing progress and
+// throughput reporting in cmd/ and internal/fleet, and each such site
+// must carry a //taichi:allow walltime directive with a justification.
+// Inside the deterministic core the directive is ignored: there is no
+// legitimate wall-clock read there.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock reads (time.Now, time.Since, time.Sleep, time.After, ...); " +
+		"simulated components must use sim.Engine time exclusively",
+	Run: runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pass.PkgFunc(call, "time", wallClockFuncs...); ok {
+				pass.Report(call.Pos(),
+					"time.%s reads the host wall clock; deterministic code must use simulated time (sim.Engine.Now)", name)
+			}
+			return true
+		})
+	}
+}

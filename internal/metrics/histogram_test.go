@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -269,5 +270,38 @@ func TestBucketsNonEmpty(t *testing.T) {
 	}
 	if total != 3 {
 		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+}
+
+// TestSortedKeysDeterministic pins the audit of the `for k := range m`
+// at SortedKeys' core: the loop is the canonical collect-then-sort
+// idiom (exempted structurally by taichilint's maporder rule), so its
+// output must be identical across calls and insertion orders even
+// though the underlying map iterates randomly.
+func TestSortedKeysDeterministic(t *testing.T) {
+	forward := map[string]int{}
+	backward := map[string]int{}
+	for i := 0; i < 64; i++ {
+		forward[fmt.Sprintf("stream.%02d", i)] = i
+	}
+	for i := 63; i >= 0; i-- {
+		backward[fmt.Sprintf("stream.%02d", i)] = i
+	}
+	want := SortedKeys(forward)
+	if !sort.StringsAreSorted(want) {
+		t.Fatalf("SortedKeys output not sorted: %v", want)
+	}
+	if len(want) != 64 {
+		t.Fatalf("SortedKeys dropped keys: got %d, want 64", len(want))
+	}
+	for run := 0; run < 10; run++ {
+		for _, m := range []map[string]int{forward, backward} {
+			got := SortedKeys(m)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("run %d: SortedKeys order diverged at %d: %q != %q", run, i, got[i], want[i])
+				}
+			}
+		}
 	}
 }

@@ -266,9 +266,19 @@ func (t *Tracer) PacketBreakdown() []PacketStage {
 			p.done, p.has[3] = e.At, true
 		}
 	}
+	// Iterate packets in id order: the stage sums are floating point,
+	// and float addition is order-sensitive in the low bits, so summing
+	// in (randomized) map order would break bit-for-bit replay of the
+	// Figure 6 table. Caught by taichilint's maporder rule.
+	ids := make([]int64, 0, len(pkts))
+	for id := range pkts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var sums [3]float64
 	var ns [3]uint64
-	for _, p := range pkts {
+	for _, id := range ids {
+		p := pkts[id]
 		if p.has[0] && p.has[1] {
 			sums[0] += float64(p.pre.Sub(p.arrive))
 			ns[0]++

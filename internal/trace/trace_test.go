@@ -147,3 +147,38 @@ func TestReset(t *testing.T) {
 		t.Fatal("Reset")
 	}
 }
+
+// TestPacketBreakdownDeterministic pins the maporder fix in
+// PacketBreakdown: stage sums are floating point, so the packets must
+// be folded in sorted-id order, not map-range order. With the unsorted
+// loop this test fails with high probability — varied magnitudes make
+// float addition order-sensitive in the low bits, and Go randomizes
+// map order on every range.
+func TestPacketBreakdownDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(0)
+		base := sim.Time(0)
+		for id := int64(0); id < 300; id++ {
+			// Spread stage durations across more magnitude than a
+			// float64 mantissa holds (2^40ns ≈ 18min up to 2^62ns),
+			// so the fold rounds and any reordering changes the bits.
+			d := sim.Duration(1)<<uint(40+id%23) + sim.Duration(id*7919)
+			tr.Emit(base, KindPacketArrive, -1, id, "")
+			tr.Emit(base.Add(d), KindPacketPreprocessDone, -1, id, "")
+			tr.Emit(base.Add(d+500), KindPacketDelivered, 2, id, "")
+			tr.Emit(base.Add(d+1500), KindPacketProcessed, 2, id, "")
+			base = base.Add(sim.Duration(10 * sim.Microsecond))
+		}
+		return tr
+	}
+	want := build().PacketBreakdown()
+	for run := 0; run < 20; run++ {
+		got := build().PacketBreakdown()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d stage %s diverged: %+v != %+v — PacketBreakdown is iterating packets in map order",
+					run, want[i].Name, got[i], want[i])
+			}
+		}
+	}
+}
