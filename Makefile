@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench
+.PHONY: check fmt vet lint build test race bench chaos-smoke
 
 check: fmt vet lint build race
 
@@ -34,9 +34,19 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package legitimately runs >10m under the race
+# detector (full figure sweeps × chaos outcome drains), so the default
+# go-test timeout is too tight.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # One benchmark per paper artifact plus the fleet speedup pair.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Request-lifecycle acceptance gate: under the chaos fault sweep, every
+# issued VM creation must reach a terminal state (zero lost requests)
+# and the outcome tables must replay byte-identically across seeds and
+# worker counts — all under the race detector.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmokeRequestOutcomes|TestNoLostRequestsUnderCPCrash|TestBackwardCompatGolden' ./internal/experiments ./internal/cluster .

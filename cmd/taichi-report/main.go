@@ -81,8 +81,44 @@ func main() {
 			}
 			fmt.Println()
 		}
+		if line := outcomeLine(r.Values); line != "" {
+			fmt.Printf("> %s\n\n", line)
+		}
 		for _, n := range r.Notes {
 			fmt.Printf("> %s\n\n", n)
 		}
 	}
+}
+
+// outcomeLine summarizes the request-lifecycle invariant when the
+// result carries req_terminal_pct_* values (the chaos experiment's
+// request-outcome sweep): every issued VM creation must end completed
+// or dead-lettered. It returns "" for results without those keys.
+func outcomeLine(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values { //taichi:allow maporder — keys are sorted before iteration below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var levels, drained []string
+	dead := 0.0
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "req_terminal_pct_") {
+			continue
+		}
+		lvl := strings.TrimPrefix(k, "req_terminal_pct_")
+		levels = append(levels, lvl)
+		if values[k] >= 100 {
+			drained = append(drained, lvl)
+		}
+		dead += values["req_dead_"+lvl]
+	}
+	if len(levels) == 0 {
+		return ""
+	}
+	if len(drained) == len(levels) {
+		return fmt.Sprintf("request lifecycle: all fault levels fully drained — every issued VM creation reached a terminal state (%g dead-lettered fleet-wide)", dead)
+	}
+	return fmt.Sprintf("request lifecycle: WARNING — only %d/%d fault levels reached 100%% terminal (drained: %s)",
+		len(drained), len(levels), strings.Join(drained, ", "))
 }

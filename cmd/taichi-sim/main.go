@@ -10,14 +10,23 @@
 //	taichi-sim -nodes 16 -parallel 8      # fleet of independent nodes
 //	taichi-sim -faults default            # chaos run, DefaultSpec faults
 //	taichi-sim -faults probe-miss=0.3,ipi-drop=0.1,offline-mtbf=20ms
+//	taichi-sim -workload vmstartup -retry -cp 4 -faults default
+//	taichi-sim -workload vmstartup -retry -cp 4 -nodes 8 -failover \
+//	           -faults exit-stall=0.2,cp-crash=0.05,nack=0.2,coord-timeout=0.1
 //
 // Modes: taichi, static, type1, type2, naive.
-// Workloads: none, ping, crr, stream, rr, fio, mysql, nginx.
+// Workloads: none, ping, crr, stream, rr, fio, mysql, nginx, vmstartup.
 //
 // With -nodes N > 1, N independently-seeded copies of the scenario run
 // on a bounded worker pool (internal/fleet) and the merged fleet-wide
 // statistics are printed. Same seed + any -parallel value gives the same
 // output.
+//
+// The vmstartup workload drives the cluster VM-creation pipeline;
+// -retry arms per-request deadlines, exponential-backoff retries and
+// dead-lettering, and -failover (fleet mode) re-dispatches requests
+// stranded on unhealthy nodes — static-fallback defense mode or an open
+// CP→DP breaker — to the healthy members.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -48,35 +58,46 @@ type scenario struct {
 	tc    *core.TaiChi
 	inj   *faults.Injector // nil unless -faults armed
 	tasks []*kernel.Thread
+	mgr   *cluster.Manager // nil unless -workload vmstartup
 	// report prints the workload's human-readable result (single-node mode).
 	report func()
 	// collect folds the workload's metrics into fleet aggregates.
 	collect func(agg *fleet.Aggregates)
 }
 
-// build assembles the scenario for one seed; it is run once in
-// single-node mode and once per member in fleet mode.
-func build(mode, wl string, cp int, util float64, spec faults.Spec, seed int64, horizon sim.Duration) (*scenario, error) {
-	sc := &scenario{}
-	var h host
+// newHost assembles the node flavour for one seed.
+func newHost(mode string, seed int64) (node *platform.Node, tc *core.TaiChi, h host, err error) {
 	switch mode {
 	case "taichi":
-		sc.tc = core.NewDefault(seed)
-		sc.node, h = sc.tc.Node, sc.tc
+		tc = core.NewDefault(seed)
+		node, h = tc.Node, tc
 	case "static":
 		b := baseline.NewStaticDefault(seed)
-		sc.node, h = b.Node, b
+		node, h = b.Node, b
 	case "type1":
-		sc.tc = baseline.NewType1(seed)
-		sc.node, h = sc.tc.Node, sc.tc
+		tc = baseline.NewType1(seed)
+		node, h = tc.Node, tc
 	case "type2":
 		b := baseline.NewType2(seed)
-		sc.node, h = b.Node, b
+		node, h = b.Node, b
 	case "naive":
-		sc.tc = baseline.NewNaive(seed)
-		sc.node, h = sc.tc.Node, sc.tc
+		tc = baseline.NewNaive(seed)
+		node, h = tc.Node, tc
 	default:
-		return nil, fmt.Errorf("unknown mode %q", mode)
+		err = fmt.Errorf("unknown mode %q", mode)
+	}
+	return node, tc, h, err
+}
+
+// build assembles the scenario for one seed; it is run once in
+// single-node mode and once per member in fleet mode.
+func build(mode, wl string, cp int, util float64, spec faults.Spec, retry bool, seed int64, horizon sim.Duration) (*scenario, error) {
+	sc := &scenario{}
+	var h host
+	var err error
+	sc.node, sc.tc, h, err = newHost(mode, seed)
+	if err != nil {
+		return nil, err
 	}
 	node := sc.node
 
@@ -186,10 +207,104 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, seed int64, 
 		n.Start()
 		sc.report = func() { fmt.Printf("nginx: %.0f req/s\n", n.RPS(node.Now())) }
 		sc.collect = func(a *fleet.Aggregates) { a.Add("nginx.rps", n.RPS(node.Now())) }
+	case "vmstartup":
+		ch, ok := h.(cluster.Host)
+		if !ok {
+			return nil, fmt.Errorf("mode %q cannot host the vmstartup workload", mode)
+		}
+		ccfg := cluster.DefaultConfig(1)
+		ccfg.VMLifetime = 0
+		if retry {
+			ccfg.Retry = cluster.DefaultRetryPolicy()
+		}
+		if sc.inj != nil {
+			ccfg.WrapCP = sc.inj.WrapCP
+		}
+		m := cluster.NewManager(ch, ccfg)
+		m.Start()
+		sc.mgr = m
+		sc.report = func() {
+			fmt.Printf("vmstartup: %s\n", m.Outcomes.String())
+			fmt.Printf("vmstartup: startup mean %v p99 %v (SLO %v)\n",
+				m.StartupTime.Mean(), m.StartupTime.Quantile(0.99), ccfg.StartupSLO)
+		}
+		sc.collect = func(a *fleet.Aggregates) { collectVMs(a, m) }
 	default:
 		return nil, fmt.Errorf("unknown workload %q", wl)
 	}
 	return sc, nil
+}
+
+// collectVMs folds the VM-startup request outcomes into fleet
+// aggregates (also the per-member collector of failover mode).
+func collectVMs(a *fleet.Aggregates, m *cluster.Manager) {
+	a.Merge("vm.startup", m.StartupTime)
+	a.Add("vm.issued", float64(m.Issued))
+	a.Add("vm.completed", float64(m.Completed))
+	a.Add("vm.retried", float64(m.Retried()))
+	a.Add("vm.dead_lettered", float64(m.DeadLettered()))
+}
+
+// stranded counts the member's non-terminal requests at the horizon —
+// the queued work a failed node hands to its healthy peers.
+func stranded(m *cluster.Manager) int {
+	n := 0
+	for _, r := range m.Requests() {
+		if !r.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// healthyNode reports whether the node ended its run able to absorb
+// re-dispatched requests: defense ladder above static fallback and the
+// CP→DP breaker not stuck open. Nodes without Tai Chi internals (the
+// static baseline) have neither signal and count as healthy.
+func healthyNode(sc *scenario) bool {
+	if sc.tc == nil {
+		return true
+	}
+	if sc.tc.Sched.DefenseMode() == core.ModeStatic {
+		return false
+	}
+	if sc.tc.Breaker != nil && sc.tc.Breaker.State() == controlplane.BreakerOpen {
+		return false
+	}
+	return true
+}
+
+// redispatchVMs replays count stranded VM creations on a fresh,
+// fault-free node of the same mode — the healthy peer absorbing a
+// failed node's queue. The re-run startup latency merges into the same
+// vm.startup histogram, so failover traffic counts against the SLO
+// exactly like first-try traffic.
+func redispatchVMs(mode string, retry bool, seed int64, count int, a *fleet.Aggregates) {
+	node, _, h, err := newHost(mode, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ch, ok := h.(cluster.Host)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mode %q cannot host re-dispatched vmstartup work\n", mode)
+		os.Exit(2)
+	}
+	cfg := cluster.DefaultConfig(1)
+	cfg.VMs = count
+	cfg.VMLifetime = 0
+	if retry {
+		cfg.Retry = cluster.DefaultRetryPolicy()
+	}
+	m := cluster.NewManager(ch, cfg)
+	m.Start()
+	for step := 0; step < 120; step++ {
+		node.Run(node.Now().Add(500 * sim.Millisecond))
+		if int(m.Issued) >= count && m.Terminal() {
+			break
+		}
+	}
+	collectVMs(a, m)
 }
 
 // cpSummary folds the scenario's synth-task outcomes into a histogram.
@@ -206,7 +321,7 @@ func cpSummary(tasks []*kernel.Thread) (done int, h *metrics.Histogram) {
 
 func main() {
 	mode := flag.String("mode", "taichi", "taichi | static | type1 | type2 | naive")
-	wl := flag.String("workload", "crr", "none | ping | crr | stream | rr | fio | mysql | nginx")
+	wl := flag.String("workload", "crr", "none | ping | crr | stream | rr | fio | mysql | nginx | vmstartup")
 	cp := flag.Int("cp", 16, "concurrent synth_cp tasks (50ms each, continuous churn)")
 	util := flag.Float64("util", 0.30, "background DP utilization target")
 	durFlag := flag.Duration("dur", 2*time.Second, "simulated duration")
@@ -214,6 +329,8 @@ func main() {
 	nodes := flag.Int("nodes", 1, "independently-seeded nodes running the scenario (fleet mode when > 1)")
 	parallel := flag.Int("parallel", 0, "fleet worker-pool size (0 = GOMAXPROCS; output is identical for any value)")
 	faultsFlag := flag.String("faults", "off", "fault-injection spec: off | default | key=value,... (see internal/faults.ParseSpec)")
+	retry := flag.Bool("retry", false, "enable per-request deadlines, retries and dead-lettering for -workload vmstartup")
+	failover := flag.Bool("failover", false, "fleet mode: re-dispatch requests stranded on unhealthy nodes to healthy ones (-workload vmstartup, -nodes > 1)")
 	flag.Parse()
 
 	horizon := sim.Duration(durFlag.Nanoseconds())
@@ -223,13 +340,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *failover && (*wl != "vmstartup" || *nodes <= 1) {
+		fmt.Fprintln(os.Stderr, "-failover needs -workload vmstartup and -nodes > 1")
+		os.Exit(2)
+	}
 
 	if *nodes > 1 {
-		runFleet(*mode, *wl, *cp, *util, spec, *seed, horizon, *nodes, *parallel)
+		runFleet(*mode, *wl, *cp, *util, spec, *retry, *failover, *seed, horizon, *nodes, *parallel)
 		return
 	}
 
-	sc, err := build(*mode, *wl, *cp, *util, spec, *seed, horizon)
+	sc, err := build(*mode, *wl, *cp, *util, spec, *retry, *seed, horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -270,15 +391,22 @@ func main() {
 			s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
 			s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
 			s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+		if sc.tc.Breaker != nil {
+			fmt.Println(sc.tc.Breaker.Describe())
+		}
 	}
 }
 
 // runFleet executes the scenario on n independently-seeded nodes via the
-// bounded worker pool and prints the merged fleet-wide statistics.
-func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, seed int64, horizon sim.Duration, n, workers int) {
+// bounded worker pool and prints the merged fleet-wide statistics. With
+// -failover, members additionally report their health and stranded
+// request count, and the stranded work of unhealthy nodes is re-run on
+// the healthy ones (fleet.RunFailover) with its startup latency merged
+// into the same SLO-facing histogram.
+func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, failover bool, seed int64, horizon sim.Duration, n, workers int) {
 	start := time.Now() //taichi:allow walltime — fleet throughput report (nodes/s); results themselves are seed-deterministic
-	agg := fleet.RunWorkers(n, seed, workers, func(idx int, memberSeed int64, a *fleet.Aggregates) {
-		sc, err := build(mode, wl, cp, util, spec, memberSeed, horizon)
+	member := func(idx int, memberSeed int64, a *fleet.Aggregates) *scenario {
+		sc, err := build(mode, wl, cp, util, spec, retry, memberSeed, horizon)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -299,7 +427,24 @@ func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, seed int6
 		if sc.node.Stor != nil {
 			a.Add("dp.stor_util", sc.node.Stor.MeanUtilization())
 		}
-	})
+		return sc
+	}
+
+	var agg *fleet.Aggregates
+	if failover {
+		agg = fleet.RunFailover(n, seed, workers,
+			func(idx int, memberSeed int64, a *fleet.Aggregates) fleet.NodeReport {
+				sc := member(idx, memberSeed, a)
+				return fleet.NodeReport{Healthy: healthyNode(sc), Stranded: stranded(sc.mgr)}
+			},
+			func(idx int, redisSeed int64, count int, a *fleet.Aggregates) {
+				redispatchVMs(mode, retry, redisSeed, count, a)
+			})
+	} else {
+		agg = fleet.RunWorkers(n, seed, workers, func(idx int, memberSeed int64, a *fleet.Aggregates) {
+			member(idx, memberSeed, a)
+		})
+	}
 	wall := time.Since(start) //taichi:allow walltime — wall-clock half of the speedup table, not simulation input
 	fmt.Printf("mode=%s workload=%s nodes=%d simulated=%v wall=%.2fs events=%.0f\n",
 		mode, wl, agg.Members, horizon, wall.Seconds(), agg.Scalar("events"))

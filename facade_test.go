@@ -1,6 +1,8 @@
 package taichi_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	taichi "repro"
@@ -99,6 +101,31 @@ func TestFacadeZeroFaultIdentity(t *testing.T) {
 			t.Fatalf("seed %d: zero-fault injector changed event count %d -> %d",
 				seed, plainFired, injFired)
 		}
+	}
+}
+
+// TestBackwardCompatGolden pins the request-lifecycle layer's
+// backward-compatibility contract: with retries disabled and zero fault
+// rate, the fig2/fig17 renders and the chaos fault-rate sweep table are
+// byte-identical to pre-lifecycle main (goldens captured from that
+// commit in testdata/golden/).
+func TestBackwardCompatGolden(t *testing.T) {
+	golden := func(name string) string {
+		b, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got, want := taichi.ExperimentByID("fig2").Run(taichi.Quick).Render(), golden("fig2_quick.txt"); got != want {
+		t.Errorf("fig2 output drifted from pre-lifecycle main:\n--- golden\n%s--- got\n%s", want, got)
+	}
+	if got, want := taichi.ExperimentByID("fig17").Run(taichi.Quick).Render(), golden("fig17_quick.txt"); got != want {
+		t.Errorf("fig17 output drifted from pre-lifecycle main:\n--- golden\n%s--- got\n%s", want, got)
+	}
+	res := taichi.ExperimentByID("chaos").Run(taichi.Quick)
+	if got, want := res.Tables[0].String(), golden("chaos_table0_quick.txt"); got != want {
+		t.Errorf("chaos sweep table drifted from pre-lifecycle main:\n--- golden\n%s--- got\n%s", want, got)
 	}
 }
 

@@ -56,6 +56,14 @@ type Config struct {
 	// VMLifetime is the mean VM lifetime before destruction triggers the
 	// device-deinitialization workflow (0 = VMs never terminate).
 	VMLifetime sim.Duration
+	// Retry governs per-request deadlines, retries and dead-lettering;
+	// the zero value disables the machinery entirely (byte-identical to
+	// the pre-lifecycle manager).
+	Retry RetryPolicy
+	// WrapCP, when non-nil, wraps every device-management program the
+	// manager spawns — the fault injector's WrapCP hook, so chaos runs
+	// can crash/hang provisioning jobs mid-flight.
+	WrapCP func(kernel.Program) kernel.Program
 }
 
 // DefaultConfig mirrors the §6.6 setup.
@@ -91,19 +99,46 @@ type Manager struct {
 	// Devices is the node's emulated-device inventory.
 	Devices *device.Registry
 
+	// Outcomes tallies request terminals and retry activity in
+	// registration order: issued, completed, retried, dead-lettered,
+	// timeouts, nacks.
+	Outcomes *metrics.Group
+
+	reqs   []*Request
+	retryR *rand.Rand // "cluster.retry" stream; nil when retries disabled
+
+	cIssued, cCompleted, cRetried *metrics.Counter
+	cDead, cTimeouts, cNacks      *metrics.Counter
+
 	stopped bool
 }
 
 // NewManager builds the workload around a host.
 func NewManager(host Host, cfg Config) *Manager {
-	return &Manager{
+	cfg.Retry = cfg.Retry.normalize()
+	g := metrics.NewGroup("requests")
+	m := &Manager{
 		cfg:         cfg,
 		host:        host,
 		r:           host.Stream("cluster"),
 		StartupTime: metrics.NewHistogram("vm.startup"),
 		CPExecTime:  metrics.NewHistogram("vm.cp_exec"),
 		Devices:     device.NewRegistry(host.Engine().Now),
+		Outcomes:    g,
+		cIssued:     g.Counter("issued"),
+		cCompleted:  g.Counter("completed"),
+		cRetried:    g.Counter("retried"),
+		cDead:       g.Counter("dead-lettered"),
+		cTimeouts:   g.Counter("timeouts"),
+		cNacks:      g.Counter("nacks"),
 	}
+	if cfg.Retry.Enabled {
+		// The backoff-jitter stream exists only when retries can draw
+		// from it, keeping disabled-retry runs stream-for-stream
+		// identical to the pre-lifecycle manager.
+		m.retryR = host.Stream("cluster.retry")
+	}
+	return m
 }
 
 // Start launches the background monitors and the VM-creation arrival
@@ -136,14 +171,18 @@ func (m *Manager) scheduleNext() {
 // createVM runs the Figure 1c red path: CP device init, then QEMU. Each
 // device gets an inventory record that activates as its queues come up;
 // once the VM is running, its eventual termination triggers the
-// deinitialization workflow.
+// deinitialization workflow. The request object tracks the creation to a
+// terminal state; with retries enabled, each attempt runs under a
+// deadline and failures detour through backoff or the dead-letter path.
 func (m *Manager) createVM() {
 	m.Issued++
-	reqAt := m.host.Engine().Now()
 	id := int(m.Issued)
+	req := &Request{ID: id, IssuedAt: m.host.Engine().Now(), state: ReqPending}
+	m.reqs = append(m.reqs, req)
+	m.cIssued.Inc()
 
 	// Provision inventory records (one ENIC, the rest VBlk per Table 4).
-	records := make([]*device.Device, len(m.cfg.Devices))
+	req.records = make([]*device.Device, len(m.cfg.Devices))
 	for i, spec := range m.cfg.Devices {
 		kind := device.VBlk
 		if i == 0 {
@@ -153,28 +192,132 @@ func (m *Manager) createVM() {
 		for q := range bindings {
 			bindings[q] = device.QueueBinding{Flow: i*8 + q, Core: -1}
 		}
-		records[i] = m.Devices.Provision(id, kind, bindings)
+		req.records[i] = m.Devices.Provision(id, kind, bindings)
+	}
+	m.beginAttempt(req)
+}
+
+// beginAttempt issues one provisioning attempt. The first attempt is
+// segment-for-segment identical to the pre-lifecycle manager; resumed
+// attempts draw from a fresh per-attempt stream and skip devices the
+// previous attempt already activated (idempotent re-provisioning).
+func (m *Manager) beginAttempt(req *Request) {
+	req.Attempts++
+	attempt := req.Attempts
+	req.state = ReqProvisioning
+
+	stream := fmt.Sprintf("vm%d", req.ID)
+	name := fmt.Sprintf("devinit-vm%d", req.ID)
+	var skip []bool
+	var onFail func(int)
+	if attempt > 1 {
+		stream = fmt.Sprintf("vm%d.retry%d", req.ID, attempt-1)
+		name = fmt.Sprintf("devinit-vm%d.retry%d", req.ID, attempt-1)
+		skip = make([]bool, len(req.records))
+		for i, d := range req.records {
+			skip[i] = d.State() == device.Active
+		}
+	}
+	if m.cfg.Retry.Enabled {
+		onFail = func(int) { m.attemptFailed(req, attempt, "nack") }
 	}
 
-	prog := controlplane.DeviceInitJob(m.cfg.Devices, m.host.Lock(),
-		m.host.Coordinator(), m.host.Stream(fmt.Sprintf("vm%d", id)),
-		func(i int) { m.Devices.Activate(records[i]) },
-		func() {
-			devDone := m.host.Engine().Now()
-			m.CPExecTime.Record(devDone.Sub(reqAt))
-			// Devices ready: notify QEMU (step 5) and wait out the host
-			// instantiation.
-			m.host.Engine().Schedule(m.cfg.QEMUTime, func() {
-				m.Completed++
-				m.StartupTime.Record(m.host.Engine().Now().Sub(reqAt))
-				if m.cfg.VMLifetime > 0 {
-					m.host.Engine().Schedule(sim.Exponential(m.r, m.cfg.VMLifetime), func() {
-						m.destroyVM(id, records)
-					})
-				}
-			})
+	prog := controlplane.ResumeDeviceInitJob(m.cfg.Devices, skip, m.host.Lock(),
+		m.host.Coordinator(), m.host.Stream(stream),
+		func(i int) { m.deviceReady(req, attempt, i) },
+		onFail,
+		func() { m.attemptDevicesDone(req, attempt) })
+	if m.cfg.WrapCP != nil {
+		prog = m.cfg.WrapCP(prog)
+	}
+	m.host.SpawnCP(name, prog)
+
+	if m.cfg.Retry.Enabled {
+		req.deadline = m.host.Engine().Schedule(m.cfg.Retry.AttemptTimeout, func() {
+			m.attemptFailed(req, attempt, "timeout")
 		})
-	m.host.SpawnCP(fmt.Sprintf("devinit-vm%d", id), prog)
+	}
+}
+
+// deviceReady activates one device record, ignoring callbacks from
+// superseded attempts and terminal requests (EnsureActive additionally
+// makes double activation a no-op).
+func (m *Manager) deviceReady(req *Request, attempt, i int) {
+	if attempt != req.Attempts || req.Terminal() {
+		return
+	}
+	m.Devices.EnsureActive(req.records[i])
+}
+
+// attemptDevicesDone is the success path: all devices are configured, so
+// cancel the deadline, account the CP execution time, and wait out QEMU.
+func (m *Manager) attemptDevicesDone(req *Request, attempt int) {
+	if attempt != req.Attempts || req.Terminal() {
+		return
+	}
+	if req.deadline != nil {
+		req.deadline.Cancel()
+		req.deadline = nil
+	}
+	devDone := m.host.Engine().Now()
+	m.CPExecTime.Record(devDone.Sub(req.IssuedAt))
+	// Devices ready: notify QEMU (step 5) and wait out the host
+	// instantiation.
+	m.host.Engine().Schedule(m.cfg.QEMUTime, func() {
+		m.Completed++
+		req.state = ReqCompleted
+		req.CompletedAt = m.host.Engine().Now()
+		m.cCompleted.Inc()
+		m.StartupTime.Record(req.CompletedAt.Sub(req.IssuedAt))
+		if m.cfg.VMLifetime > 0 {
+			m.host.Engine().Schedule(sim.Exponential(m.r, m.cfg.VMLifetime), func() {
+				m.destroyVM(req.ID, req.records)
+			})
+		}
+	})
+}
+
+// attemptFailed handles a failed attempt (deadline expiry or DP NACK):
+// either schedule the next attempt after exponential backoff with jitter
+// from the dedicated retry stream, or dead-letter the request.
+func (m *Manager) attemptFailed(req *Request, attempt int, reason string) {
+	if attempt != req.Attempts || req.Terminal() || req.state == ReqRetrying {
+		return
+	}
+	if req.deadline != nil {
+		req.deadline.Cancel()
+		req.deadline = nil
+	}
+	switch reason {
+	case "timeout":
+		m.cTimeouts.Inc()
+	case "nack":
+		m.cNacks.Inc()
+	}
+	if req.Attempts >= m.cfg.Retry.MaxAttempts {
+		m.deadLetter(req, reason)
+		return
+	}
+	req.state = ReqRetrying
+	m.cRetried.Inc()
+	delay := sim.Jitter(m.retryR, m.cfg.Retry.backoff(attempt), m.cfg.Retry.JitterFrac)
+	m.host.Engine().Schedule(delay, func() {
+		if req.state != ReqRetrying {
+			return
+		}
+		m.beginAttempt(req)
+	})
+}
+
+// deadLetter is the failure terminal: record the reason and roll back
+// every device record the attempts left behind.
+func (m *Manager) deadLetter(req *Request, reason string) {
+	req.state = ReqDeadLettered
+	req.Reason = reason
+	m.cDead.Inc()
+	for _, d := range req.records {
+		m.Devices.Abort(d)
+	}
 }
 
 // destroyVM runs the teardown workflow: CP deinitializes every device and
@@ -201,3 +344,24 @@ func (m *Manager) NormalizedStartup() float64 {
 
 // MeanCPExec returns the mean device-management execution time.
 func (m *Manager) MeanCPExec() sim.Duration { return m.CPExecTime.Mean() }
+
+// Requests returns every issued request in issue order.
+func (m *Manager) Requests() []*Request { return m.reqs }
+
+// Terminal reports whether every issued request has reached a terminal
+// state (completed or dead-lettered) — the drain condition for chaos
+// harnesses, and the "no lost requests" acceptance check.
+func (m *Manager) Terminal() bool {
+	for _, r := range m.reqs {
+		if !r.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// DeadLettered returns the dead-lettered request count.
+func (m *Manager) DeadLettered() uint64 { return m.cDead.Value() }
+
+// Retried returns how many retry attempts were scheduled.
+func (m *Manager) Retried() uint64 { return m.cRetried.Value() }

@@ -1,0 +1,204 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states, the classic three-position circuit.
+const (
+	// BreakerClosed: ops flow through, consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: ops are rejected immediately; a timer arms half-open.
+	BreakerOpen
+	// BreakerHalfOpen: one probe op is let through; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// BreakerConfig parameterizes the CP→DP circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before half-opening
+	// for a probe op.
+	OpenTimeout sim.Duration
+	// AckTimeout bounds each op's wait for a DP acknowledgment; an op
+	// whose ack does not arrive in time counts as a failure (the
+	// coordinator-timeout fault class surfaces here).
+	AckTimeout sim.Duration
+}
+
+// DefaultBreakerConfig mirrors a conservative production profile: trip
+// after 5 straight failures, half-open after 5 ms, give each op 2 ms to
+// complete (native IPC acks in microseconds; 2 ms means the DP service
+// is gone, not slow).
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		FailureThreshold: 5,
+		OpenTimeout:      5 * sim.Millisecond,
+		AckTimeout:       2 * sim.Millisecond,
+	}
+}
+
+// Breaker is a circuit breaker on the CP→DP device-coordination path.
+// While closed it forwards ops to the inner coordinator under an ack
+// deadline; FailureThreshold consecutive failures (NACKs or ack
+// timeouts) trip it open, rejecting further ops immediately so retrying
+// requests fail fast instead of queueing against a dead DP service.
+// After OpenTimeout it half-opens: exactly one probe op is admitted, and
+// its outcome decides between closing the circuit and re-opening it.
+//
+// All timing rides the deterministic engine; the breaker draws no
+// randomness, so wrapping a coordinator never perturbs replay.
+type Breaker struct {
+	cfg    BreakerConfig
+	engine *sim.Engine
+	inner  DPCoordinator
+
+	state       BreakerState
+	consecFails int
+	probing     bool // half-open probe in flight
+
+	// Outcome tallies (rendered by Describe): trips open, ops rejected
+	// while open, ack timeouts, NACKs, half-open transitions, re-closes.
+	trips, rejects, timeouts, nacks, halfOpens, closes uint64
+}
+
+// NewBreaker wraps inner with a circuit breaker driven by the engine.
+func NewBreaker(engine *sim.Engine, inner DPCoordinator, cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = DefaultBreakerConfig().FailureThreshold
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = DefaultBreakerConfig().OpenTimeout
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = DefaultBreakerConfig().AckTimeout
+	}
+	return &Breaker{cfg: cfg, engine: engine, inner: inner}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// ConfigureDevice implements DPCoordinator for outcome-blind callers
+// (teardown jobs): done fires whatever the outcome, so a rejected
+// release does not wedge the deinit workflow.
+func (b *Breaker) ConfigureDevice(flow int, done func()) {
+	b.TryConfigureDevice(flow, func(bool) { done() })
+}
+
+// TryConfigureDevice implements FallibleCoordinator.
+func (b *Breaker) TryConfigureDevice(flow int, done func(ok bool)) {
+	switch b.state {
+	case BreakerOpen:
+		b.rejects++
+		// Reject asynchronously so callers observe a uniform
+		// callback-after-return contract in every state.
+		b.engine.Schedule(sim.Microsecond, func() { done(false) })
+		return
+	case BreakerHalfOpen:
+		if b.probing {
+			b.rejects++
+			b.engine.Schedule(sim.Microsecond, func() { done(false) })
+			return
+		}
+		b.probing = true
+	}
+	answered := false
+	var deadline *sim.Event
+	deadline = b.engine.Schedule(b.cfg.AckTimeout, func() {
+		if answered {
+			return
+		}
+		answered = true
+		b.timeouts++
+		b.onFailure()
+		done(false)
+	})
+	TryConfigure(b.inner, flow, func(ok bool) {
+		if answered {
+			// Late ack after the deadline already failed the op; the
+			// attempt has moved on.
+			return
+		}
+		answered = true
+		deadline.Cancel()
+		if ok {
+			b.onSuccess()
+		} else {
+			b.nacks++
+			b.onFailure()
+		}
+		done(ok)
+	})
+}
+
+func (b *Breaker) onSuccess() {
+	b.consecFails = 0
+	if b.state != BreakerClosed {
+		b.state = BreakerClosed
+		b.probing = false
+		b.closes++
+	}
+}
+
+func (b *Breaker) onFailure() {
+	b.consecFails++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.consecFails >= b.cfg.FailureThreshold) {
+		b.trip()
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.probing = false
+	b.trips++
+	b.engine.Schedule(b.cfg.OpenTimeout, func() {
+		if b.state != BreakerOpen {
+			return
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		b.halfOpens++
+	})
+}
+
+// Describe renders the breaker's counters on one deterministic line —
+// the TaiChi.Describe surface. ZeroBreakerLine is the exact same line
+// for a node that never installed a breaker, keeping zero-fault output
+// byte-identical whether or not the robustness layer is present.
+func (b *Breaker) Describe() string {
+	return fmt.Sprintf("breaker: state=%s trips=%d rejects=%d timeouts=%d nacks=%d half-opens=%d closes=%d",
+		b.state, b.trips, b.rejects, b.timeouts, b.nacks, b.halfOpens, b.closes)
+}
+
+// ZeroBreakerLine is Describe's output for an absent breaker.
+func ZeroBreakerLine() string {
+	return "breaker: state=closed trips=0 rejects=0 timeouts=0 nacks=0 half-opens=0 closes=0"
+}
+
+// Trips returns how many times the breaker tripped open.
+func (b *Breaker) Trips() uint64 { return b.trips }
+
+// Rejects returns how many ops were rejected while open.
+func (b *Breaker) Rejects() uint64 { return b.rejects }

@@ -1,0 +1,191 @@
+package controlplane
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// scriptedCoord is a FallibleCoordinator whose per-op outcome is played
+// from a script: true = ack ok, false = NACK. Ops beyond the script (or
+// marked lost) never answer at all — the breaker's ack deadline is the
+// only thing that resolves them.
+type scriptedCoord struct {
+	engine  *sim.Engine
+	latency sim.Duration
+	script  []bool
+	lost    map[int]bool
+	calls   int
+}
+
+func (s *scriptedCoord) ConfigureDevice(flow int, done func()) {
+	s.TryConfigureDevice(flow, func(bool) { done() })
+}
+
+func (s *scriptedCoord) TryConfigureDevice(flow int, done func(ok bool)) {
+	i := s.calls
+	s.calls++
+	if s.lost[i] || i >= len(s.script) {
+		return // op vanishes; no ack ever
+	}
+	ok := s.script[i]
+	s.engine.Schedule(s.latency, func() { done(ok) })
+}
+
+func repeat(v bool, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// drive issues one op through the breaker and runs the engine until the
+// op resolves, returning its outcome.
+func drive(t *testing.T, e *sim.Engine, b *Breaker) bool {
+	t.Helper()
+	resolved, outcome := false, false
+	b.TryConfigureDevice(1, func(ok bool) { resolved, outcome = true, ok })
+	for i := 0; i < 10_000 && !resolved; i++ {
+		if !e.Step() {
+			break
+		}
+	}
+	if !resolved {
+		t.Fatal("op never resolved")
+	}
+	return outcome
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	e := sim.NewEngine()
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Microsecond, script: repeat(false, 10)}
+	b := NewBreaker(e, inner, BreakerConfig{FailureThreshold: 3})
+
+	for i := 0; i < 2; i++ {
+		if drive(t, e, b) {
+			t.Fatal("NACKed op reported ok")
+		}
+		if b.State() != BreakerClosed {
+			t.Fatalf("tripped after only %d failures", i+1)
+		}
+	}
+	if drive(t, e, b) {
+		t.Fatal("NACKed op reported ok")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerOpenRejectsWithoutReachingInner(t *testing.T) {
+	e := sim.NewEngine()
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Microsecond, script: repeat(false, 10)}
+	b := NewBreaker(e, inner, BreakerConfig{FailureThreshold: 2, OpenTimeout: sim.Second})
+
+	drive(t, e, b)
+	drive(t, e, b)
+	callsAtTrip := inner.calls
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if drive(t, e, b) {
+		t.Fatal("rejected op reported ok")
+	}
+	if inner.calls != callsAtTrip {
+		t.Fatal("open breaker still forwarded the op to the inner coordinator")
+	}
+	if b.Rejects() != 1 {
+		t.Fatalf("rejects = %d, want 1", b.Rejects())
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	e := sim.NewEngine()
+	// Two NACKs to trip, then an ok for the half-open probe.
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Microsecond, script: []bool{false, false, true}}
+	cfg := BreakerConfig{FailureThreshold: 2, OpenTimeout: sim.Millisecond}
+	b := NewBreaker(e, inner, cfg)
+
+	drive(t, e, b)
+	drive(t, e, b)
+	e.Run(e.Now().Add(2 * sim.Millisecond))
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after OpenTimeout, want half-open", b.State())
+	}
+	if !drive(t, e, b) {
+		t.Fatal("half-open probe failed despite ok inner")
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	e := sim.NewEngine()
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Microsecond, script: repeat(false, 3)}
+	b := NewBreaker(e, inner, BreakerConfig{FailureThreshold: 2, OpenTimeout: sim.Millisecond})
+
+	drive(t, e, b)
+	drive(t, e, b)
+	e.Run(e.Now().Add(2 * sim.Millisecond))
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	drive(t, e, b)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open again", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerAckTimeoutCountsAsFailure(t *testing.T) {
+	e := sim.NewEngine()
+	// The op reaches the inner coordinator but its ack never comes back —
+	// the partial-init / coordinator-timeout fault shape.
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Microsecond, lost: map[int]bool{0: true}}
+	b := NewBreaker(e, inner, BreakerConfig{FailureThreshold: 5, AckTimeout: sim.Millisecond})
+
+	if drive(t, e, b) {
+		t.Fatal("lost op reported ok")
+	}
+	if got := b.Describe(); got != "breaker: state=closed trips=0 rejects=0 timeouts=1 nacks=0 half-opens=0 closes=0" {
+		t.Fatalf("Describe = %q", got)
+	}
+}
+
+func TestBreakerLateAckIsDiscarded(t *testing.T) {
+	e := sim.NewEngine()
+	// Ack latency far beyond the deadline: the deadline fails the op
+	// first and the eventual ack must not double-resolve or reset state.
+	inner := &scriptedCoord{engine: e, latency: 10 * sim.Millisecond, script: []bool{true}}
+	b := NewBreaker(e, inner, BreakerConfig{FailureThreshold: 1, AckTimeout: sim.Millisecond, OpenTimeout: sim.Second})
+
+	resolutions := 0
+	b.TryConfigureDevice(1, func(ok bool) {
+		resolutions++
+		if ok {
+			t.Fatal("timed-out op reported ok")
+		}
+	})
+	e.Run(e.Now().Add(20 * sim.Millisecond))
+	if resolutions != 1 {
+		t.Fatalf("op resolved %d times, want exactly once", resolutions)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v: late ok ack must not rescue a tripped breaker", b.State())
+	}
+}
+
+func TestZeroBreakerLineMatchesFreshBreaker(t *testing.T) {
+	e := sim.NewEngine()
+	b := NewBreaker(e, &scriptedCoord{engine: e}, DefaultBreakerConfig())
+	if b.Describe() != ZeroBreakerLine() {
+		t.Fatalf("fresh breaker %q != zero line %q", b.Describe(), ZeroBreakerLine())
+	}
+}

@@ -88,6 +88,30 @@ type DPCoordinator interface {
 	ConfigureDevice(flow int, done func())
 }
 
+// FallibleCoordinator extends DPCoordinator with an outcome-aware
+// configure path. The fault injector's coordinator wrapper and the
+// circuit breaker implement it: done(false) reports a provisioning NACK
+// or a breaker rejection, and done may never fire at all when the op is
+// lost in transit (coordinator timeout) — the request layer's attempt
+// deadline is the backstop for that case.
+type FallibleCoordinator interface {
+	DPCoordinator
+	// TryConfigureDevice is ConfigureDevice with an explicit outcome.
+	TryConfigureDevice(flow int, done func(ok bool))
+}
+
+// TryConfigure issues one configure op through the outcome-aware path
+// when the coordinator supports it, and adapts the legacy
+// always-succeeds path otherwise (native IPC and RPC coordinators never
+// NACK).
+func TryConfigure(coord DPCoordinator, flow int, done func(ok bool)) {
+	if fc, ok := coord.(FallibleCoordinator); ok {
+		fc.TryConfigureDevice(flow, done)
+		return
+	}
+	coord.ConfigureDevice(flow, func() { done(true) })
+}
+
 // DeviceSpec describes one emulated device to provision for a VM.
 type DeviceSpec struct {
 	// Queues is the number of DP-side queue configurations required.
@@ -119,12 +143,32 @@ func DefaultVMDevices() []DeviceSpec {
 // instantiate the VM.
 func DeviceInitJob(devices []DeviceSpec, lock *kernel.SpinLock, coord DPCoordinator, r *rand.Rand,
 	onDevice func(i int), onComplete func()) kernel.Program {
+	return ResumeDeviceInitJob(devices, nil, lock, coord, r, onDevice, nil, onComplete)
+}
+
+// ResumeDeviceInitJob is DeviceInitJob with the retry-attempt extensions.
+// skip[i], when non-nil, marks devices that already reached Active in a
+// previous attempt: re-issuing their configuration is a no-op, so the
+// resumed job replaces their full init sequence with a single cheap
+// verification syscall (idempotent re-provisioning). onFail, when
+// non-nil, fires if a DP configure op is NACKed or rejected; the program
+// abandons its remaining segments so the attempt fails fast instead of
+// provisioning against a refusing data plane. With skip == nil and
+// onFail == nil the built program is segment-for-segment and
+// draw-for-draw identical to DeviceInitJob.
+func ResumeDeviceInitJob(devices []DeviceSpec, skip []bool, lock *kernel.SpinLock, coord DPCoordinator, r *rand.Rand,
+	onDevice func(i int), onFail func(i int), onComplete func()) kernel.Program {
 	prog := &SliceProgramWithThread{}
 	var segs []kernel.Segment
 	// Step 2: parse the cluster manager's instruction.
 	segs = append(segs, kernel.Segment{Kind: kernel.SegCompute, Dur: sim.Jitter(r, 300*sim.Microsecond, 0.2), Note: "parse"})
 	for di, dev := range devices {
 		di := di
+		if di < len(skip) && skip[di] {
+			// Already Active from a previous attempt: verify and move on.
+			segs = append(segs, kernel.Segment{Kind: kernel.SegSyscall, Dur: 15 * sim.Microsecond, Note: "verify_active"})
+			continue
+		}
 		// Preemptible kernel setup (allocations, sysfs plumbing).
 		segs = append(segs, kernel.Segment{Kind: kernel.SegSyscall, Dur: sim.Jitter(r, dev.SetupWork, 0.2), Note: "setup"})
 		// Driver init under the shared driver lock — the non-preemptible
@@ -137,7 +181,13 @@ func DeviceInitJob(devices []DeviceSpec, lock *kernel.SpinLock, coord DPCoordina
 			issue := kernel.Segment{Kind: kernel.SegSyscall, Dur: 30 * sim.Microsecond, Note: "dp_issue"}
 			issue.OnDone = func() {
 				t := prog.Thread
-				coord.ConfigureDevice(flow, func() {
+				TryConfigure(coord, flow, func(ok bool) {
+					if !ok {
+						prog.Abandon()
+						if onFail != nil {
+							onFail(di)
+						}
+					}
 					if t != nil {
 						t.Signal()
 					}
@@ -198,12 +248,23 @@ type SliceProgramWithThread struct {
 	Segments []kernel.Segment
 	pos      int
 	Thread   *kernel.Thread
+
+	abandoned bool
 }
+
+// Abandon makes the program report completion at the next segment
+// boundary, dropping its remaining segments (and their OnDone hooks).
+// The failure paths use it to end an attempt early without tearing the
+// thread down mid-segment.
+func (p *SliceProgramWithThread) Abandon() { p.abandoned = true }
+
+// Abandoned reports whether Abandon was called.
+func (p *SliceProgramWithThread) Abandoned() bool { return p.abandoned }
 
 // Next implements kernel.Program.
 func (p *SliceProgramWithThread) Next(t *kernel.Thread) (kernel.Segment, bool) {
 	p.Thread = t
-	if p.pos >= len(p.Segments) {
+	if p.abandoned || p.pos >= len(p.Segments) {
 		return kernel.Segment{}, false
 	}
 	s := p.Segments[p.pos]

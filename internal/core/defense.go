@@ -251,6 +251,9 @@ func (s *Scheduler) enterStatic() {
 			slot.occupant.ForceExit(vcpu.ExitForced)
 		}
 	}
+	if s.OnStaticFallback != nil {
+		s.OnStaticFallback()
+	}
 }
 
 // SetCoreDown marks a DP core hardware-offline (or back online) on behalf

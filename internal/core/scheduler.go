@@ -130,6 +130,11 @@ type Scheduler struct {
 	// defense holds the graceful-degradation state; nil (the fault-free
 	// default) keeps every defense path completely inert.
 	defense *defenseState
+	// OnStaticFallback, when non-nil, fires once per entry into static
+	// partitioning, after lending is suspended — the hook TaiChi uses to
+	// detach subsystems (like an active audit) that depend on vCPUs
+	// being hosted.
+	OnStaticFallback func()
 
 	// Metrics.
 	Yields         *metrics.Counter

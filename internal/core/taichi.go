@@ -27,6 +27,10 @@ type TaiChi struct {
 	DriverLock *kernel.SpinLock
 
 	coord controlplane.DPCoordinator
+	// Breaker is the circuit breaker on the CP→DP coordination path, nil
+	// until InstallBreaker wires one in (the fault injector does this when
+	// coordinator fault classes are armed).
+	Breaker *controlplane.Breaker
 	// audit is the audit currently holding the dedicated auditing vCPU
 	// (nil when none); StartAudit refuses a second concurrent audit.
 	audit *Audit
@@ -34,12 +38,22 @@ type TaiChi struct {
 
 // New mounts Tai Chi onto a platform node.
 func New(node *platform.Node, cfg Config) *TaiChi {
-	return &TaiChi{
+	t := &TaiChi{
 		Node:       node,
 		Sched:      NewScheduler(node, cfg),
 		Cfg:        cfg,
 		DriverLock: kernel.NewSpinLock("driver"),
 	}
+	// Static fallback suspends lending, so vCPUs — including a dedicated
+	// audit vCPU — stop being hosted. An active audit must be detached
+	// gracefully (affinity restored to the CP pCPUs) or its pinned thread
+	// would starve forever.
+	t.Sched.OnStaticFallback = func() {
+		if t.audit != nil && t.audit.Active() {
+			t.audit.Stop()
+		}
+	}
+	return t
 }
 
 // TryNew is New with the configuration-error paths surfaced as errors
@@ -105,6 +119,13 @@ func (t *TaiChi) Describe() string {
 		s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
 		s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
 		s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+	// Like the defense counters, the breaker line is always printed: a
+	// node that never installed one renders the identical zero line.
+	if t.Breaker != nil {
+		fmt.Fprintf(&b, "%s\n", t.Breaker.Describe())
+	} else {
+		fmt.Fprintf(&b, "%s\n", controlplane.ZeroBreakerLine())
+	}
 	return b.String()
 }
 
@@ -145,6 +166,22 @@ func (t *TaiChi) Coordinator() controlplane.DPCoordinator {
 		t.coord = NewNetCoordinator(t.Node)
 	}
 	return t.coord
+}
+
+// SetCoordinator replaces the CP→DP coordination path. The fault
+// injector uses it to interpose NACK/timeout fault wrappers between CP
+// jobs and the native coordinator; tests use it to install fakes.
+func (t *TaiChi) SetCoordinator(c controlplane.DPCoordinator) { t.coord = c }
+
+// InstallBreaker wraps the current coordinator with a circuit breaker so
+// every subsequent Coordinator() caller goes through it. Idempotent: a
+// second call leaves the existing breaker in place.
+func (t *TaiChi) InstallBreaker(cfg controlplane.BreakerConfig) *controlplane.Breaker {
+	if t.Breaker == nil {
+		t.Breaker = controlplane.NewBreaker(t.Node.Engine, t.Coordinator(), cfg)
+		t.coord = t.Breaker
+	}
+	return t.Breaker
 }
 
 // NativeCoordinator implements controlplane.DPCoordinator over Tai Chi's

@@ -98,9 +98,12 @@ type Registry struct {
 	// ProvisionLatency measures provision→active times — the per-device
 	// component of VM startup.
 	ProvisionLatency *metrics.Histogram
-	// Provisioned / Destroyed count lifecycle transitions.
+	// Provisioned / Destroyed count lifecycle transitions; Aborted counts
+	// records rolled back by the request-lifecycle layer before they could
+	// reach Active (dead-lettered VM creations).
 	Provisioned uint64
 	Destroyed   uint64
+	Aborted     uint64
 }
 
 // NewRegistry builds an empty inventory; now supplies the simulated clock.
@@ -139,6 +142,44 @@ func (r *Registry) Activate(d *Device) {
 	d.state = Active
 	d.ActivatedAt = r.now()
 	r.ProvisionLatency.Record(d.ActivatedAt.Sub(d.CreatedAt))
+}
+
+// EnsureActive is the idempotent form of Activate, used by the retry
+// path: re-issuing a configuration for a device that already reached
+// Active is a no-op (reports false), and only a Provisioning record
+// transitions (reports true). Any other state is also a no-op — a
+// stale attempt's callback must never resurrect a device the request
+// layer already rolled back.
+func (r *Registry) EnsureActive(d *Device) bool {
+	if d.state != Provisioning {
+		return false
+	}
+	r.Activate(d)
+	return true
+}
+
+// Abort rolls back a record whose VM-creation request was dead-lettered:
+// Provisioning or Active devices are released immediately (no Destroying
+// round-trip — the DP queues were never handed to a running VM). Other
+// states are a no-op, so Abort is idempotent.
+func (r *Registry) Abort(d *Device) {
+	if d.state != Provisioning && d.state != Active {
+		return
+	}
+	d.state = Gone
+	d.DestroyedAt = r.now()
+	delete(r.devices, d.ID)
+	vmDevs := r.byVM[d.VM]
+	for i, dd := range vmDevs {
+		if dd == d {
+			r.byVM[d.VM] = append(vmDevs[:i], vmDevs[i+1:]...)
+			break
+		}
+	}
+	if len(r.byVM[d.VM]) == 0 {
+		delete(r.byVM, d.VM)
+	}
+	r.Aborted++
 }
 
 // BeginDestroy starts deinitialization.

@@ -77,6 +77,62 @@ func TestInvalidTransitionsPanic(t *testing.T) {
 	}
 }
 
+func TestEnsureActiveIsIdempotent(t *testing.T) {
+	r, _ := newReg()
+	d := r.Provision(1, ENIC, nil)
+	if !r.EnsureActive(d) {
+		t.Fatal("EnsureActive refused a Provisioning record")
+	}
+	if d.State() != Active {
+		t.Fatalf("state %v, want active", d.State())
+	}
+	// Re-issuing the configuration (a retry replaying an op the previous
+	// attempt already landed) must be a pure no-op.
+	if r.EnsureActive(d) {
+		t.Fatal("EnsureActive re-activated an Active record")
+	}
+	if r.ProvisionLatency.Count() != 1 {
+		t.Fatalf("provision latency recorded %d times, want 1", r.ProvisionLatency.Count())
+	}
+	// A stale callback must not resurrect a rolled-back record.
+	r.Abort(d)
+	if r.EnsureActive(d) || d.State() != Gone {
+		t.Fatal("EnsureActive resurrected an aborted record")
+	}
+}
+
+func TestAbortRollsBackAndIsIdempotent(t *testing.T) {
+	r, now := newReg()
+	prov := r.Provision(1, ENIC, nil)
+	act := r.Provision(1, VBlk, nil)
+	r.Activate(act)
+	*now = sim.Time(3 * sim.Millisecond)
+
+	r.Abort(prov) // Provisioning → Gone
+	r.Abort(act)  // Active → Gone (queues never reached a running VM)
+	if prov.State() != Gone || act.State() != Gone {
+		t.Fatalf("states %v/%v, want gone/gone", prov.State(), act.State())
+	}
+	if r.Live() != 0 || len(r.ByVM(1)) != 0 {
+		t.Fatal("aborted records still in the inventory")
+	}
+	if r.Aborted != 2 || r.Destroyed != 0 {
+		t.Fatalf("aborted=%d destroyed=%d, want 2/0", r.Aborted, r.Destroyed)
+	}
+	// Idempotent: a second abort (or aborting mid-teardown) is a no-op.
+	r.Abort(prov)
+	if r.Aborted != 2 {
+		t.Fatal("double abort double-counted")
+	}
+	gone := r.Provision(2, VBlk, nil)
+	r.Activate(gone)
+	r.BeginDestroy(gone)
+	r.Abort(gone)
+	if gone.State() != Destroying || r.Aborted != 2 {
+		t.Fatal("abort touched a Destroying record")
+	}
+}
+
 func TestKindAndStateStrings(t *testing.T) {
 	if ENIC.String() != "enic" || VBlk.String() != "vblk" {
 		t.Fatal("kind strings")

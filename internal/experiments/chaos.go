@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -88,8 +89,101 @@ func Chaos(scale Scale) *Result {
 		res.Values[fmt.Sprintf("recovered_%s", label)] = float64(r.recovered)
 	}
 	res.Tables = append(res.Tables, tbl)
+
+	// Phase 2: the request-lifecycle layer under the same fault levels —
+	// every issued VM creation must reach a terminal state.
+	outTbl, outVals := RequestOutcomes(scale, 950)
+	res.Tables = append(res.Tables, outTbl)
+	for _, k := range metrics.SortedKeys(outVals) {
+		res.Values[k] = outVals[k]
+	}
+
 	res.Notes = append(res.Notes,
 		"defense ladder: normal (hw probe) -> sw-probe (slice-expiry reclaim) -> static (no lending)",
-		"0x is the attached-but-zero injector; it must match a fault-free run exactly")
+		"0x is the attached-but-zero injector; it must match a fault-free run exactly",
+		"request outcomes: retries+deadlines drain every VM creation to completed or dead-lettered")
 	return res
+}
+
+// RequestOutcomes sweeps the VM-startup request lifecycle across the
+// same fault-rate levels as the chaos sweep: each level runs the cluster
+// manager with retries enabled under the scaled default spec (CP
+// crash/hang wrapping included) and drains until every issued request is
+// terminal. The returned table is the paper-shaped "request outcomes vs
+// fault rate" surface; the values map carries the per-level counters for
+// taichi-report. Exported so the acceptance regression can replay it at
+// chosen seeds and worker counts.
+func RequestOutcomes(scale Scale, baseSeed int64) (*metrics.Table, map[string]float64) {
+	tbl := metrics.NewTable("Request outcomes vs fault rate",
+		"level", "issued", "completed", "retried", "dead-lettered", "terminal_pct", "breaker", "mode")
+
+	levels := []float64{0, 0.5, 1, 2}
+	type row struct {
+		issued, completed, retried, dead uint64
+		terminal                         bool
+		breaker                          string
+		mode                             string
+	}
+	rows := make([]row, len(levels))
+	vms := int(48 * scale.Factor)
+	if vms < 8 {
+		vms = 8
+	}
+
+	fleet.ForEach(len(levels), scale.Workers, func(i int) {
+		spec := faults.DefaultSpec().Scaled(levels[i])
+		tc := core.NewDefault(baseSeed + int64(i))
+		inj := faults.NewInjector(spec)
+		inj.Attach(tc)
+
+		cfg := cluster.DefaultConfig(1)
+		cfg.VMs = vms
+		cfg.VMLifetime = 0 // keep the drain condition on creations alone
+		cfg.Retry = cluster.DefaultRetryPolicy()
+		cfg.WrapCP = inj.WrapCP
+		mgr := cluster.NewManager(tc, cfg)
+		mgr.Start()
+
+		// Drain: run in fixed chunks until every request is terminal.
+		// The bound is generous — three attempt deadlines plus backoff
+		// per request — and purely a runaway backstop.
+		for step := 0; step < 120; step++ {
+			tc.Run(tc.Engine().Now().Add(500 * sim.Millisecond))
+			if int(mgr.Issued) >= vms && mgr.Terminal() {
+				break
+			}
+		}
+
+		breaker := "none"
+		if tc.Breaker != nil {
+			breaker = fmt.Sprintf("%s/t%d", tc.Breaker.State(), tc.Breaker.Trips())
+		}
+		rows[i] = row{
+			issued:    mgr.Issued,
+			completed: mgr.Completed,
+			retried:   mgr.Retried(),
+			dead:      mgr.DeadLettered(),
+			terminal:  mgr.Terminal(),
+			breaker:   breaker,
+			mode:      tc.Sched.DefenseMode().String(),
+		}
+	})
+
+	vals := map[string]float64{}
+	for i, lvl := range levels {
+		r := rows[i]
+		label := fmt.Sprintf("%gx", lvl)
+		terminalPct := 0.0
+		if r.issued > 0 {
+			terminalPct = 100 * float64(r.completed+r.dead) / float64(r.issued)
+		}
+		tbl.AddRow(label, r.issued, r.completed, r.retried, r.dead,
+			terminalPct, r.breaker, r.mode)
+		vals[fmt.Sprintf("req_issued_%s", label)] = float64(r.issued)
+		vals[fmt.Sprintf("req_completed_%s", label)] = float64(r.completed)
+		vals[fmt.Sprintf("req_retried_%s", label)] = float64(r.retried)
+		vals[fmt.Sprintf("req_dead_%s", label)] = float64(r.dead)
+		vals[fmt.Sprintf("req_terminal_pct_%s", label)] = terminalPct
+	}
+	return tbl, vals
 }

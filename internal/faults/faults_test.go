@@ -221,7 +221,7 @@ func isSameProgram(a, b kernel.Program) bool {
 
 func TestCountsRendering(t *testing.T) {
 	inj := faults.NewInjector(faults.Spec{})
-	want := "faults: probe-miss=0 spurious=0 ipi-drop=0 ipi-delay=0 exit-stall=0 lock-stall=0 offline=0 cp-crash=0 cp-hang=0"
+	want := "faults: probe-miss=0 spurious=0 ipi-drop=0 ipi-delay=0 exit-stall=0 lock-stall=0 offline=0 cp-crash=0 cp-hang=0 nack=0 partial-init=0 coord-timeout=0"
 	if got := inj.Counts.String(); got != want {
 		t.Fatalf("Counts = %q, want %q", got, want)
 	}

@@ -3,6 +3,7 @@ package faults
 import (
 	"math/rand"
 
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
@@ -23,7 +24,8 @@ type Injector struct {
 	Spec Spec
 	// Counts tallies injected faults per class, in a deterministic
 	// registration order: probe-miss, spurious, ipi-drop, ipi-delay,
-	// exit-stall, lock-stall, offline, cp-crash, cp-hang.
+	// exit-stall, lock-stall, offline, cp-crash, cp-hang, nack,
+	// partial-init, coord-timeout.
 	Counts *metrics.Group
 
 	tc       *core.TaiChi
@@ -33,6 +35,7 @@ type Injector struct {
 	probeMiss, spurious, ipiDrop, ipiDelay *metrics.Counter
 	exitStall, lockStall, offline          *metrics.Counter
 	cpCrash, cpHang                        *metrics.Counter
+	nack, partialInit, coordTimeout        *metrics.Counter
 }
 
 // NewInjector builds an injector for the given spec. Intensity means
@@ -41,17 +44,20 @@ func NewInjector(spec Spec) *Injector {
 	spec.applyMeanDefaults()
 	g := metrics.NewGroup("faults")
 	return &Injector{
-		Spec:      spec,
-		Counts:    g,
-		probeMiss: g.Counter("probe-miss"),
-		spurious:  g.Counter("spurious"),
-		ipiDrop:   g.Counter("ipi-drop"),
-		ipiDelay:  g.Counter("ipi-delay"),
-		exitStall: g.Counter("exit-stall"),
-		lockStall: g.Counter("lock-stall"),
-		offline:   g.Counter("offline"),
-		cpCrash:   g.Counter("cp-crash"),
-		cpHang:    g.Counter("cp-hang"),
+		Spec:         spec,
+		Counts:       g,
+		probeMiss:    g.Counter("probe-miss"),
+		spurious:     g.Counter("spurious"),
+		ipiDrop:      g.Counter("ipi-drop"),
+		ipiDelay:     g.Counter("ipi-delay"),
+		exitStall:    g.Counter("exit-stall"),
+		lockStall:    g.Counter("lock-stall"),
+		offline:      g.Counter("offline"),
+		cpCrash:      g.Counter("cp-crash"),
+		cpHang:       g.Counter("cp-hang"),
+		nack:         g.Counter("nack"),
+		partialInit:  g.Counter("partial-init"),
+		coordTimeout: g.Counter("coord-timeout"),
 	}
 }
 
@@ -172,6 +178,64 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 	if s.CPCrashRate > 0 || s.CPHangRate > 0 {
 		i.cpRNG = node.Stream("faults.cp")
 	}
+
+	// CP→DP coordination faults: interpose the fault wrapper between CP
+	// jobs and the native coordinator, then a circuit breaker on top so
+	// the injected failures trip it the way a refusing DP service would.
+	// Draws ride one stream in op-issue order, so a given (seed, spec)
+	// replays bit-for-bit regardless of which VM's job issues the op.
+	if s.CoordFaultsArmed() {
+		i.tc.SetCoordinator(&coordFaults{
+			inj:    i,
+			inner:  i.tc.Coordinator(),
+			engine: node.Engine,
+			r:      node.Stream("faults.coord"),
+		})
+		i.tc.InstallBreaker(controlplane.DefaultBreakerConfig())
+	}
+}
+
+// coordFaults injects provisioning NACKs, partial device inits (op
+// applied, ack lost) and coordinator timeouts (op lost entirely) into
+// the CP→DP configuration path.
+type coordFaults struct {
+	inj    *Injector
+	inner  controlplane.DPCoordinator
+	engine *sim.Engine
+	r      *rand.Rand
+}
+
+// nackLatency is how long the DP service takes to refuse an op — a
+// prompt rejection, far under any ack timeout.
+const nackLatency = 5 * sim.Microsecond
+
+// TryConfigureDevice implements controlplane.FallibleCoordinator.
+func (c *coordFaults) TryConfigureDevice(flow int, done func(ok bool)) {
+	s := c.inj.Spec
+	if s.ProvisionNackRate > 0 && c.r.Float64() < s.ProvisionNackRate {
+		c.inj.nack.Inc()
+		c.engine.Schedule(nackLatency, func() { done(false) })
+		return
+	}
+	if s.CoordTimeoutRate > 0 && c.r.Float64() < s.CoordTimeoutRate {
+		// Lost before reaching the DP: no work, no ack, ever.
+		c.inj.coordTimeout.Inc()
+		return
+	}
+	if s.PartialInitRate > 0 && c.r.Float64() < s.PartialInitRate {
+		// The DP applies the op but the completion ack is lost.
+		c.inj.partialInit.Inc()
+		c.inner.ConfigureDevice(flow, func() {})
+		return
+	}
+	controlplane.TryConfigure(c.inner, flow, done)
+}
+
+// ConfigureDevice implements controlplane.DPCoordinator for
+// outcome-blind callers; a NACKed op still completes the callback so
+// teardown workflows cannot wedge on an injected refusal.
+func (c *coordFaults) ConfigureDevice(flow int, done func()) {
+	c.TryConfigureDevice(flow, func(bool) { done() })
 }
 
 // Attached reports whether Attach has run.

@@ -58,6 +58,19 @@ type Spec struct {
 	// offline events, and the mean outage length; 0 disables.
 	CoreOfflineMTBF sim.Duration
 	CoreOfflineMean sim.Duration
+
+	// ProvisionNackRate is the probability a CP→DP device-configuration
+	// op is refused by the DP service (provisioning NACK): the op's done
+	// callback reports failure promptly and the attempt fails fast.
+	ProvisionNackRate float64
+	// PartialInitRate is the probability a configuration op is applied by
+	// the DP but its completion ack is lost — partial device init. The
+	// issuing job wedges in its ack wait until the request layer's
+	// attempt deadline (or the breaker's ack timeout) fires.
+	PartialInitRate float64
+	// CoordTimeoutRate is the probability an op is lost before reaching
+	// the DP service at all (coordinator timeout): no work done, no ack.
+	CoordTimeoutRate float64
 }
 
 // DefaultSpec is a moderate mixed-fault profile, the ×1.0 level of the
@@ -78,6 +91,9 @@ func DefaultSpec() Spec {
 		LockStallMean:       50 * sim.Microsecond,
 		CoreOfflineMTBF:     50 * sim.Millisecond,
 		CoreOfflineMean:     5 * sim.Millisecond,
+		ProvisionNackRate:   0.02,
+		PartialInitRate:     0.01,
+		CoordTimeoutRate:    0.01,
 	}
 }
 
@@ -87,7 +103,15 @@ func (s Spec) Zero() bool {
 	return s.ProbeMissRate == 0 && s.SpuriousReclaimMTBF == 0 &&
 		s.IPIDropRate == 0 && s.IPIDelayRate == 0 &&
 		s.ExitStallRate == 0 && s.CPCrashRate == 0 && s.CPHangRate == 0 &&
-		s.LockStallRate == 0 && s.CoreOfflineMTBF == 0
+		s.LockStallRate == 0 && s.CoreOfflineMTBF == 0 &&
+		s.ProvisionNackRate == 0 && s.PartialInitRate == 0 && s.CoordTimeoutRate == 0
+}
+
+// CoordFaultsArmed reports whether any CP→DP coordination fault class is
+// armed (NACK, partial init, coordinator timeout) — the classes that
+// make Attach interpose a coordinator wrapper and a circuit breaker.
+func (s Spec) CoordFaultsArmed() bool {
+	return s.ProvisionNackRate > 0 || s.PartialInitRate > 0 || s.CoordTimeoutRate > 0
 }
 
 // Scaled multiplies every fault rate by f (capped at 1) and divides
@@ -124,6 +148,9 @@ func (s Spec) Scaled(f float64) Spec {
 	out.CPHangRate = rate(s.CPHangRate)
 	out.LockStallRate = rate(s.LockStallRate)
 	out.CoreOfflineMTBF = mtbf(s.CoreOfflineMTBF)
+	out.ProvisionNackRate = rate(s.ProvisionNackRate)
+	out.PartialInitRate = rate(s.PartialInitRate)
+	out.CoordTimeoutRate = rate(s.CoordTimeoutRate)
 	return out
 }
 
@@ -163,6 +190,7 @@ func (s *Spec) applyMeanDefaults() {
 //	cp-crash        cp-hang         cp-hang-mean
 //	lock-stall      lock-stall-mean
 //	offline-mtbf    offline-mean
+//	nack            partial-init    coord-timeout
 func ParseSpec(text string) (Spec, error) {
 	var s Spec
 	switch strings.TrimSpace(text) {
@@ -212,6 +240,12 @@ func ParseSpec(text string) (Spec, error) {
 			s.CoreOfflineMTBF, err = parseDur(val)
 		case "offline-mean":
 			s.CoreOfflineMean, err = parseDur(val)
+		case "nack":
+			s.ProvisionNackRate, err = parseRate(val)
+		case "partial-init":
+			s.PartialInitRate, err = parseRate(val)
+		case "coord-timeout":
+			s.CoordTimeoutRate, err = parseRate(val)
 		default:
 			return Spec{}, fmt.Errorf("faults: unknown key %q", key)
 		}

@@ -1,0 +1,102 @@
+package fleet
+
+// Node-level failover: when a fleet member ends its run degraded — its
+// defense ladder collapsed to static fallback, or its CP→DP breaker is
+// stuck open — the requests still queued on it are not lost; they are
+// re-dispatched to the healthy members of the fleet and their (re-run)
+// startup latency is counted against the SLO like any first-try request.
+// Assignment is round-robin over healthy members in index order and the
+// re-dispatch seeds derive from the fleet base seed, so failover runs
+// replay byte-identically for any worker count, like everything else in
+// this package.
+
+// NodeReport is a failover-aware member's verdict about its own node.
+type NodeReport struct {
+	// Healthy reports whether the node can absorb re-dispatched work: it
+	// finished its run outside static fallback and with a closed breaker.
+	Healthy bool
+	// Stranded is how many requests remain queued on the node (issued
+	// but not terminal) and need a home elsewhere.
+	Stranded int
+}
+
+// FailoverMember runs one node to its horizon, reports into the member's
+// private aggregates, and returns the node's health and stranded count.
+type FailoverMember func(idx int, seed int64, agg *Aggregates) NodeReport
+
+// Redispatch replays count stranded requests on the healthy node idx,
+// reporting into agg. The seed derives from the fleet base seed and is
+// distinct from every phase-1 member seed.
+type Redispatch func(idx int, seed int64, count int, agg *Aggregates)
+
+// RunFailover executes n members, then re-dispatches the work stranded
+// on unhealthy nodes across the healthy ones (round-robin, index order).
+// The merged aggregates gain three scalars: failover.nodes_failed,
+// failover.redispatched, and failover.lost (stranded requests with no
+// healthy node left to take them). Output is byte-identical for any
+// worker count.
+func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redispatch Redispatch) *Aggregates {
+	if n <= 0 {
+		panic("fleet: need at least one member")
+	}
+	reports := make([]NodeReport, n)
+	parts := make([]*Aggregates, n)
+	ForEach(n, workers, func(i int) {
+		agg := NewAggregates()
+		reports[i] = member(i, MemberSeed(baseSeed, i), agg)
+		agg.Members++
+		parts[i] = agg
+	})
+
+	var healthy []int
+	for i, rep := range reports {
+		if rep.Healthy {
+			healthy = append(healthy, i)
+		}
+	}
+	counts := make([]int, len(healthy))
+	nodesFailed, redispatched, lost := 0, 0, 0
+	next := 0
+	for _, rep := range reports {
+		if rep.Healthy {
+			continue
+		}
+		nodesFailed++
+		if rep.Stranded <= 0 {
+			continue
+		}
+		if len(healthy) == 0 {
+			lost += rep.Stranded
+			continue
+		}
+		for k := 0; k < rep.Stranded; k++ {
+			counts[next%len(healthy)]++
+			next++
+		}
+		redispatched += rep.Stranded
+	}
+
+	reparts := make([]*Aggregates, len(healthy))
+	ForEach(len(healthy), workers, func(j int) {
+		if counts[j] == 0 {
+			return
+		}
+		agg := NewAggregates()
+		redispatch(healthy[j], MemberSeed(baseSeed, n+healthy[j]), counts[j], agg)
+		reparts[j] = agg
+	})
+
+	total := NewAggregates()
+	for _, p := range parts {
+		total.MergeFrom(p)
+	}
+	for _, p := range reparts {
+		if p != nil {
+			total.MergeFrom(p)
+		}
+	}
+	total.Add("failover.nodes_failed", float64(nodesFailed))
+	total.Add("failover.redispatched", float64(redispatched))
+	total.Add("failover.lost", float64(lost))
+	return total
+}

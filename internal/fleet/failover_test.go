@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// failoverFixture runs RunFailover over a synthetic fleet where nodes
+// with idx%3 == 0 are unhealthy with idx+1 stranded requests; the
+// member and redispatch hooks log deterministically into scalars.
+func failoverFixture(n, workers int) *Aggregates {
+	return RunFailover(n, 42, workers,
+		func(idx int, seed int64, agg *Aggregates) NodeReport {
+			agg.Add("member.runs", 1)
+			agg.Add(fmt.Sprintf("member.seed%d", idx), float64(seed))
+			if idx%3 == 0 {
+				return NodeReport{Healthy: false, Stranded: idx + 1}
+			}
+			return NodeReport{Healthy: true}
+		},
+		func(idx int, seed int64, count int, agg *Aggregates) {
+			agg.Add("redispatch.runs", 1)
+			agg.Add(fmt.Sprintf("redispatch.node%d", idx), float64(count))
+			agg.Add(fmt.Sprintf("redispatch.seed%d", idx), float64(seed))
+		})
+}
+
+func TestFailoverRedistributesStranded(t *testing.T) {
+	agg := failoverFixture(6, 1)
+	// Unhealthy: 0 (1 stranded), 3 (4 stranded); healthy: 1,2,4,5.
+	if got := agg.Scalar("failover.nodes_failed"); got != 2 {
+		t.Fatalf("nodes_failed = %v, want 2", got)
+	}
+	if got := agg.Scalar("failover.redispatched"); got != 5 {
+		t.Fatalf("redispatched = %v, want 5", got)
+	}
+	if got := agg.Scalar("failover.lost"); got != 0 {
+		t.Fatalf("lost = %v, want 0", got)
+	}
+	// Round-robin over healthy indexes 1,2,4,5: 5 requests → 2,1,1,1.
+	want := map[int]float64{1: 2, 2: 1, 4: 1, 5: 1}
+	for idx, count := range want {
+		if got := agg.Scalar(fmt.Sprintf("redispatch.node%d", idx)); got != count {
+			t.Fatalf("node %d got %v re-dispatched, want %v", idx, got, count)
+		}
+	}
+	// Re-dispatch seeds must be distinct from every member seed.
+	seen := map[float64]bool{}
+	for i := 0; i < 6; i++ {
+		seen[agg.Scalar(fmt.Sprintf("member.seed%d", i))] = true
+	}
+	for idx := range want {
+		if s := agg.Scalar(fmt.Sprintf("redispatch.seed%d", idx)); seen[s] {
+			t.Fatalf("redispatch seed for node %d collides with a member seed", idx)
+		}
+	}
+}
+
+func TestFailoverDeterministicAcrossWorkers(t *testing.T) {
+	want := failoverFixture(9, 1).Describe()
+	for _, workers := range []int{2, 8} {
+		if got := failoverFixture(9, workers).Describe(); got != want {
+			t.Fatalf("failover output differs between 1 and %d workers:\n--- 1\n%s--- %d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+func TestFailoverNoHealthyNodesLosesWork(t *testing.T) {
+	redispatches := 0
+	agg := RunFailover(3, 7, 1,
+		func(idx int, seed int64, agg *Aggregates) NodeReport {
+			return NodeReport{Healthy: false, Stranded: 2}
+		},
+		func(idx int, seed int64, count int, agg *Aggregates) {
+			redispatches++
+		})
+	if redispatches != 0 {
+		t.Fatal("redispatch ran with zero healthy nodes")
+	}
+	if got := agg.Scalar("failover.lost"); got != 6 {
+		t.Fatalf("lost = %v, want 6", got)
+	}
+	if got := agg.Scalar("failover.nodes_failed"); got != 3 {
+		t.Fatalf("nodes_failed = %v, want 3", got)
+	}
+}
+
+func TestFailoverAllHealthyIsPlainRun(t *testing.T) {
+	agg := RunFailover(4, 9, 2,
+		func(idx int, seed int64, agg *Aggregates) NodeReport {
+			agg.Add("member.runs", 1)
+			return NodeReport{Healthy: true}
+		},
+		func(idx int, seed int64, count int, agg *Aggregates) {
+			t.Error("redispatch ran in an all-healthy fleet")
+		})
+	if agg.Members != 4 || agg.Scalar("member.runs") != 4 {
+		t.Fatalf("members=%d runs=%v", agg.Members, agg.Scalar("member.runs"))
+	}
+	for _, k := range []string{"failover.nodes_failed", "failover.redispatched", "failover.lost"} {
+		if agg.Scalar(k) != 0 {
+			t.Fatalf("%s = %v, want 0", k, agg.Scalar(k))
+		}
+	}
+}

@@ -46,6 +46,25 @@ func NewFromHost(h host) *widget {
 	return &widget{r: h.Stream("widget")}
 }
 
+// Good: the retry-backoff shape — a manager that draws jitter from a
+// named host stream created at construction time. This mirrors
+// cluster.NewManager's "cluster.retry" stream; the seed flows through
+// the host, so no diagnostic.
+type retrier struct {
+	r        *rand.Rand
+	attempts int
+}
+
+func NewRetrier(h host) *retrier {
+	return &retrier{r: h.Stream("retry")}
+}
+
+// Bad: the same retrier shape but with an invented jitter source — a
+// retry delay drawn here can never replay.
+func NewUnseededRetrier() *retrier {
+	return &retrier{r: rand.New(rand.NewSource(99))} // want `NewUnseededRetrier reaches a randomness source`
+}
+
 // Unexported constructors and non-constructor functions are out of
 // scope for this rule (walltime/globalrand still cover their bodies).
 func newScratch() *widget {

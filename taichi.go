@@ -32,6 +32,8 @@ package taichi
 
 import (
 	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -124,6 +126,25 @@ func ParseFaultSpec(text string) (FaultSpec, error) { return faults.ParseSpec(te
 
 // DefaultFaultSpec returns the moderate mixed-fault chaos profile.
 func DefaultFaultSpec() FaultSpec { return faults.DefaultSpec() }
+
+// RetryPolicy governs the VM-startup request lifecycle: per-attempt
+// deadlines, exponential backoff with deterministic jitter, and the
+// dead-letter cap. The zero value disables retries entirely.
+type RetryPolicy = cluster.RetryPolicy
+
+// BreakerConfig tunes the circuit breaker guarding the CP→DP
+// device-coordination path (consecutive-failure trip threshold,
+// half-open timer, per-op ack deadline).
+type BreakerConfig = controlplane.BreakerConfig
+
+// DefaultRetryPolicy returns the standard request-lifecycle tuning:
+// three attempts, 500 ms attempt deadline, 20 ms base backoff doubling
+// per retry with 20% deterministic jitter.
+func DefaultRetryPolicy() RetryPolicy { return cluster.DefaultRetryPolicy() }
+
+// DefaultBreakerConfig returns the standard CP→DP breaker tuning: trip
+// after 5 consecutive failures, half-open after 5 ms, 2 ms ack deadline.
+func DefaultBreakerConfig() BreakerConfig { return controlplane.DefaultBreakerConfig() }
 
 // Experiments returns every table/figure harness in paper order.
 func Experiments() []Experiment { return experiments.Registry() }
