@@ -240,10 +240,13 @@ func (m *Manager) beginAttempt(req *Request) {
 }
 
 // deviceReady activates one device record, ignoring callbacks from
-// superseded attempts and terminal requests (EnsureActive additionally
-// makes double activation a no-op).
+// superseded attempts and from attempts the request no longer considers
+// live — state must still be Provisioning, so an attempt already
+// declared failed (deadline fired, backoff pending) cannot mutate the
+// inventory behind the retry's back (EnsureActive additionally makes
+// double activation a no-op).
 func (m *Manager) deviceReady(req *Request, attempt, i int) {
-	if attempt != req.Attempts || req.Terminal() {
+	if attempt != req.Attempts || req.state != ReqProvisioning {
 		return
 	}
 	m.Devices.EnsureActive(req.records[i])
@@ -251,8 +254,14 @@ func (m *Manager) deviceReady(req *Request, attempt, i int) {
 
 // attemptDevicesDone is the success path: all devices are configured, so
 // cancel the deadline, account the CP execution time, and wait out QEMU.
+// The state check is load-bearing: an attempt whose deadline already
+// fired has moved the request to Retrying, and if that attempt then
+// finishes anyway (slow CP queue, hang that resumes) its completion must
+// be ignored — otherwise both it and the backoff-launched retry would
+// complete the request, double-counting Completed/StartupTime and
+// breaking the exactly-one-terminal-outcome invariant.
 func (m *Manager) attemptDevicesDone(req *Request, attempt int) {
-	if attempt != req.Attempts || req.Terminal() {
+	if attempt != req.Attempts || req.state != ReqProvisioning {
 		return
 	}
 	if req.deadline != nil {

@@ -127,7 +127,9 @@ func (p RetryPolicy) normalize() RetryPolicy {
 	if p.BaseBackoff <= 0 {
 		p.BaseBackoff = d.BaseBackoff
 	}
-	if p.BackoffFactor <= 1 {
+	if p.BackoffFactor < 1 {
+		// Factor exactly 1.0 is a legitimate constant-backoff policy;
+		// only unset (zero) or shrinking factors get the default.
 		p.BackoffFactor = d.BackoffFactor
 	}
 	if p.JitterFrac < 0 {

@@ -35,6 +35,31 @@ func (f *flakyCoord) TryConfigureDevice(flow int, done func(ok bool)) {
 	controlplane.TryConfigure(f.inner, flow, done)
 }
 
+// laggyCoord delays the (successful) acks of the ops whose zero-based
+// indexes are listed in slow, and forwards everything else — a
+// deterministic stand-in for a DP service whose queue stalls and then
+// resumes, so an attempt can outlive its own deadline.
+type laggyCoord struct {
+	inner  controlplane.DPCoordinator
+	engine *sim.Engine
+	slow   map[int]sim.Duration
+	calls  int
+}
+
+func (l *laggyCoord) ConfigureDevice(flow int, done func()) {
+	l.TryConfigureDevice(flow, func(bool) { done() })
+}
+
+func (l *laggyCoord) TryConfigureDevice(flow int, done func(ok bool)) {
+	i := l.calls
+	l.calls++
+	if d, lag := l.slow[i]; lag {
+		l.engine.Schedule(d, func() { done(true) })
+		return
+	}
+	controlplane.TryConfigure(l.inner, flow, done)
+}
+
 func failAll() map[int]bool {
 	all := map[int]bool{}
 	for i := 0; i < 1000; i++ {
@@ -156,6 +181,63 @@ func TestNoLostRequestsUnderCPCrash(t *testing.T) {
 	}
 }
 
+// TestTimedOutAttemptCannotCompleteTwice pins the exactly-one-terminal-
+// outcome invariant: an attempt whose deadline fired (state → Retrying)
+// may still finish later when the stalled DP queue resumes. Its
+// completion must be ignored — otherwise both it and the
+// backoff-launched retry complete the request, double-counting
+// Completed/StartupTime and letting Completed exceed Issued.
+func TestTimedOutAttemptCannotCompleteTwice(t *testing.T) {
+	tc := core.NewDefault(67)
+	// Op 0's ack stalls far past the attempt deadline, then arrives; the
+	// attempt is declared failed at 100 ms yet resumes and runs through.
+	tc.SetCoordinator(&laggyCoord{inner: tc.Coordinator(), engine: tc.Engine(),
+		slow: map[int]sim.Duration{0: 300 * sim.Millisecond}})
+
+	cfg := DefaultConfig(1)
+	cfg.VMs = 1
+	cfg.VMLifetime = 0
+	cfg.MonitorsPerDensity = 0 // keep attempt timing free of CP contention
+	cfg.Retry = RetryPolicy{
+		Enabled:        true,
+		MaxAttempts:    3,
+		AttemptTimeout: 100 * sim.Millisecond,
+		// The backoff lands between the stalled attempt's device
+		// completion and its QEMU completion — the window where the old
+		// guard let both attempts finish.
+		BaseBackoff:   350 * sim.Millisecond,
+		BackoffFactor: 1, // constant backoff must survive normalize()
+	}
+	mgr := NewManager(tc, cfg)
+	mgr.Start()
+	drainVMs(t, tc, mgr, 1)
+	// Drain well past any straggler QEMU completion the stale attempt
+	// might have scheduled.
+	tc.Run(tc.Engine().Now().Add(2 * sim.Second))
+
+	timeouts := uint64(0)
+	for _, c := range mgr.Outcomes.Counters() {
+		if c.Name() == "timeouts" {
+			timeouts = c.Value()
+		}
+	}
+	if timeouts == 0 {
+		t.Fatal("no attempt timed out; the stale-completion race is not being exercised — adjust the lag or the deadline")
+	}
+	if mgr.Retried() == 0 {
+		t.Fatal("timed-out attempt never retried")
+	}
+	if mgr.Issued != 1 || mgr.Completed != 1 {
+		t.Fatalf("issued=%d completed=%d, want exactly one completion", mgr.Issued, mgr.Completed)
+	}
+	if got := mgr.StartupTime.Count(); got != 1 {
+		t.Fatalf("startup recorded %d times, want once", got)
+	}
+	if req := mgr.Requests()[0]; req.State() != ReqCompleted {
+		t.Fatalf("request state=%v, want completed", req.State())
+	}
+}
+
 func TestRequestLifecycleDeterministic(t *testing.T) {
 	run := func(seed int64) string {
 		tc := core.NewDefault(seed)
@@ -224,5 +306,14 @@ func TestRetryPolicyBackoffShape(t *testing.T) {
 	h := half.normalize()
 	if h.MaxAttempts == 0 || h.AttemptTimeout == 0 || h.BaseBackoff == 0 || h.BackoffFactor <= 1 {
 		t.Fatalf("normalize left zero fields: %+v", h)
+	}
+	// Factor exactly 1.0 is a valid constant-backoff policy and must not
+	// be overwritten with the exponential default.
+	c := RetryPolicy{Enabled: true, BackoffFactor: 1}.normalize()
+	if c.BackoffFactor != 1 {
+		t.Fatalf("constant backoff factor rewritten to %v", c.BackoffFactor)
+	}
+	if c.backoff(3) != c.BaseBackoff {
+		t.Fatalf("constant backoff grew: backoff(3) = %v, want %v", c.backoff(3), c.BaseBackoff)
 	}
 }

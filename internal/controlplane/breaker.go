@@ -109,6 +109,7 @@ func (b *Breaker) ConfigureDevice(flow int, done func()) {
 
 // TryConfigureDevice implements FallibleCoordinator.
 func (b *Breaker) TryConfigureDevice(flow int, done func(ok bool)) {
+	probe := false
 	switch b.state {
 	case BreakerOpen:
 		b.rejects++
@@ -123,6 +124,7 @@ func (b *Breaker) TryConfigureDevice(flow int, done func(ok bool)) {
 			return
 		}
 		b.probing = true
+		probe = true
 	}
 	answered := false
 	var deadline *sim.Event
@@ -144,7 +146,7 @@ func (b *Breaker) TryConfigureDevice(flow int, done func(ok bool)) {
 		answered = true
 		deadline.Cancel()
 		if ok {
-			b.onSuccess()
+			b.onSuccess(probe)
 		} else {
 			b.nacks++
 			b.onFailure()
@@ -153,9 +155,17 @@ func (b *Breaker) TryConfigureDevice(flow int, done func(ok bool)) {
 	})
 }
 
-func (b *Breaker) onSuccess() {
+// onSuccess resets the failure streak and, when the success is the
+// half-open probe, closes the circuit. Only the probe may close it: a
+// late ack from an op issued before the breaker tripped (several
+// closed-state ops can be in flight at once) can land while the breaker
+// is Open — or even Half-Open — and letting it re-close would bypass
+// OpenTimeout and the one-probe-decides protocol while the pending
+// open-timer no-ops. The state check guards the probe itself against a
+// trip that happened while its ack was in flight.
+func (b *Breaker) onSuccess(probe bool) {
 	b.consecFails = 0
-	if b.state != BreakerClosed {
+	if probe && b.state == BreakerHalfOpen {
 		b.state = BreakerClosed
 		b.probing = false
 		b.closes++

@@ -182,6 +182,71 @@ func TestBreakerLateAckIsDiscarded(t *testing.T) {
 	}
 }
 
+// staggeredCoord plays per-op (outcome, latency) pairs in call order.
+// Unlike scriptedCoord each op resolves on its own schedule, so a slow
+// success issued while the breaker was closed can still be in flight
+// when later failures trip it.
+type staggeredCoord struct {
+	engine    *sim.Engine
+	outcomes  []bool
+	latencies []sim.Duration
+	calls     int
+}
+
+func (s *staggeredCoord) ConfigureDevice(flow int, done func()) {
+	s.TryConfigureDevice(flow, func(bool) { done() })
+}
+
+func (s *staggeredCoord) TryConfigureDevice(flow int, done func(ok bool)) {
+	i := s.calls
+	s.calls++
+	if i >= len(s.outcomes) {
+		return
+	}
+	ok := s.outcomes[i]
+	s.engine.Schedule(s.latencies[i], func() { done(ok) })
+}
+
+// TestBreakerStraySuccessCannotReclose pins the one-probe-decides
+// protocol: a late ack from an op issued before the breaker tripped
+// lands while the circuit is open and must not silently re-close it —
+// only the half-open probe, after OpenTimeout, may do that.
+func TestBreakerStraySuccessCannotReclose(t *testing.T) {
+	e := sim.NewEngine()
+	// Op 0: a slow success issued while closed; ops 1-2: fast NACKs that
+	// trip the breaker while op 0's ack is still in flight.
+	inner := &staggeredCoord{engine: e,
+		outcomes:  []bool{true, false, false},
+		latencies: []sim.Duration{5 * sim.Millisecond, sim.Millisecond, sim.Millisecond}}
+	b := NewBreaker(e, inner, BreakerConfig{
+		FailureThreshold: 2, AckTimeout: 10 * sim.Millisecond, OpenTimeout: 20 * sim.Millisecond})
+
+	results := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		i := i
+		b.TryConfigureDevice(i, func(ok bool) { results[i] = ok })
+	}
+	// The NACKs land at 1 ms and trip the breaker open.
+	e.Run(e.Now().Add(2 * sim.Millisecond))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after threshold NACKs, want open", b.State())
+	}
+	// Op 0's success lands at 5 ms, within its own ack deadline but with
+	// the breaker open: the op itself succeeds, the circuit stays open.
+	e.Run(e.Now().Add(4 * sim.Millisecond))
+	if !results[0] {
+		t.Fatal("slow closed-era op lost its own success")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v: stray success re-closed an open breaker", b.State())
+	}
+	// The pending open-timer must still drive the half-open transition.
+	e.Run(e.Now().Add(20 * sim.Millisecond))
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v after OpenTimeout, want half-open", b.State())
+	}
+}
+
 func TestZeroBreakerLineMatchesFreshBreaker(t *testing.T) {
 	e := sim.NewEngine()
 	b := NewBreaker(e, &scriptedCoord{engine: e}, DefaultBreakerConfig())

@@ -16,7 +16,9 @@ type NodeReport struct {
 	// finished its run outside static fallback and with a closed breaker.
 	Healthy bool
 	// Stranded is how many requests remain queued on the node (issued
-	// but not terminal) and need a home elsewhere.
+	// but not terminal) at the horizon. On an unhealthy node they need a
+	// home elsewhere; on a healthy node they are merely unfinished and
+	// are accounted as failover.pending.
 	Stranded int
 }
 
@@ -31,10 +33,13 @@ type Redispatch func(idx int, seed int64, count int, agg *Aggregates)
 
 // RunFailover executes n members, then re-dispatches the work stranded
 // on unhealthy nodes across the healthy ones (round-robin, index order).
-// The merged aggregates gain three scalars: failover.nodes_failed,
-// failover.redispatched, and failover.lost (stranded requests with no
-// healthy node left to take them). Output is byte-identical for any
-// worker count.
+// The merged aggregates gain four scalars: failover.nodes_failed,
+// failover.redispatched, failover.lost (stranded requests with no
+// healthy node left to take them), and failover.pending (requests left
+// non-terminal at the horizon on healthy nodes — not re-dispatched,
+// since their node can still finish them, but surfaced so stranded work
+// never silently understates). Output is byte-identical for any worker
+// count.
 func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redispatch Redispatch) *Aggregates {
 	if n <= 0 {
 		panic("fleet: need at least one member")
@@ -55,10 +60,11 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 		}
 	}
 	counts := make([]int, len(healthy))
-	nodesFailed, redispatched, lost := 0, 0, 0
+	nodesFailed, redispatched, lost, pending := 0, 0, 0, 0
 	next := 0
 	for _, rep := range reports {
 		if rep.Healthy {
+			pending += rep.Stranded
 			continue
 		}
 		nodesFailed++
@@ -98,5 +104,6 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 	total.Add("failover.nodes_failed", float64(nodesFailed))
 	total.Add("failover.redispatched", float64(redispatched))
 	total.Add("failover.lost", float64(lost))
+	total.Add("failover.pending", float64(pending))
 	return total
 }

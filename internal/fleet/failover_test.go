@@ -98,9 +98,41 @@ func TestFailoverAllHealthyIsPlainRun(t *testing.T) {
 	if agg.Members != 4 || agg.Scalar("member.runs") != 4 {
 		t.Fatalf("members=%d runs=%v", agg.Members, agg.Scalar("member.runs"))
 	}
-	for _, k := range []string{"failover.nodes_failed", "failover.redispatched", "failover.lost"} {
+	for _, k := range []string{"failover.nodes_failed", "failover.redispatched", "failover.lost", "failover.pending"} {
 		if agg.Scalar(k) != 0 {
 			t.Fatalf("%s = %v, want 0", k, agg.Scalar(k))
 		}
+	}
+}
+
+// TestFailoverHealthyStrandedCountsAsPending: a healthy node that hits
+// the horizon with non-terminal requests keeps them (no re-dispatch),
+// but the work must surface in failover.pending rather than silently
+// vanish from the stranded accounting.
+func TestFailoverHealthyStrandedCountsAsPending(t *testing.T) {
+	agg := RunFailover(4, 11, 1,
+		func(idx int, seed int64, agg *Aggregates) NodeReport {
+			if idx == 0 {
+				return NodeReport{Healthy: false, Stranded: 2}
+			}
+			// Healthy nodes 1,2,3 end the horizon with idx unfinished
+			// requests each.
+			return NodeReport{Healthy: true, Stranded: idx}
+		},
+		func(idx int, seed int64, count int, agg *Aggregates) {
+			agg.Add("redispatch.count", float64(count))
+		})
+	if got := agg.Scalar("failover.pending"); got != 6 {
+		t.Fatalf("pending = %v, want 6", got)
+	}
+	if got := agg.Scalar("failover.redispatched"); got != 2 {
+		t.Fatalf("redispatched = %v, want 2", got)
+	}
+	if got := agg.Scalar("failover.lost"); got != 0 {
+		t.Fatalf("lost = %v, want 0", got)
+	}
+	// Healthy nodes' own stranded work must not be re-dispatched.
+	if got := agg.Scalar("redispatch.count"); got != 2 {
+		t.Fatalf("redispatch.count = %v, want only the unhealthy node's 2", got)
 	}
 }
