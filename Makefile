@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench chaos-smoke
+.PHONY: check fmt vet lint build test race bench bench-go bench-smoke chaos-smoke
 
-check: fmt vet lint build race
+check: fmt vet lint build race bench-smoke
 
 # Determinism lint: wall clocks, global RNG, unordered map iteration,
 # core concurrency, and seedless constructors. Zero diagnostics is the
@@ -40,8 +40,25 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# One benchmark per paper artifact plus the fleet speedup pair.
+# Perf-regression harness: run the pinned scenarios (fig2, fig17,
+# chaos, vmstartup) and emit BENCH_taichi.json — ns/op, events/sec,
+# allocs/op per scenario. The simulation-side fields in the artifact
+# (events/op, simulated ns/op) are seed-pinned and double as a replay
+# check; see OBSERVABILITY.md for how to read and diff the file.
 bench:
+	$(GO) run ./cmd/taichi-bench -benchout BENCH_taichi.json
+	$(GO) run ./cmd/taichi-bench -validate BENCH_taichi.json
+
+# Smoke slice of the perf harness: one pinned scenario, one iteration,
+# schema-validated and discarded. Part of `make check` so a broken
+# harness (or a bench artifact that stops validating) fails pre-commit.
+bench-smoke:
+	$(GO) run ./cmd/taichi-bench -benchout bench_smoke.json -scenarios chaos -iters 1
+	$(GO) run ./cmd/taichi-bench -validate bench_smoke.json
+	@rm -f bench_smoke.json
+
+# One go-test benchmark per paper artifact plus the fleet speedup pair.
+bench-go:
 	$(GO) test -bench=. -benchmem
 
 # Request-lifecycle acceptance gate: under the chaos fault sweep, every

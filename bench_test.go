@@ -142,3 +142,7 @@ func BenchmarkAblation_ConnTrack(b *testing.B) {
 func BenchmarkAblation_IPIV(b *testing.B) {
 	runExperiment(b, "abl-ipiv", "delivery_p50_ipiv_us", "delivery_p50_noipiv_us")
 }
+
+func BenchmarkChaos_FaultSweep(b *testing.B) {
+	runExperiment(b, "chaos", "p99_us_1x", "req_terminal_pct_1x")
+}

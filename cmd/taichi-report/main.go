@@ -1,10 +1,18 @@
-// Command taichi-report renders the JSON results written by
-// `taichi-bench -json <dir>` into a single markdown report — a
-// regenerable EXPERIMENTS.md-style summary.
+// Command taichi-report renders the JSON artifacts written by the
+// other tools into a single markdown report — a regenerable
+// EXPERIMENTS.md-style summary. It understands three file shapes and
+// dispatches on content, so one directory can mix all of them:
+//
+//   - experiment results from `taichi-bench -json <dir>`
+//   - the perf-harness artifact from `taichi-bench -benchout` (schema
+//     "taichi-bench/v1")
+//   - metrics snapshots from `taichi-sim -metrics out.json` or
+//     `taichi-bench -benchout ... -metrics-dir <dir>`
 //
 // Usage:
 //
 //	taichi-bench -json results/
+//	taichi-bench -benchout results/BENCH_taichi.json -metrics-dir results/
 //	taichi-report results/ > report.md
 package main
 
@@ -15,6 +23,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 type result struct {
@@ -56,37 +66,128 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if bench, err := obs.ValidateBench(data); err == nil {
+			renderBench(f, bench)
+			continue
+		}
+		if snap, ok := parseSnapshot(data); ok {
+			renderSnapshot(f, snap)
+			continue
+		}
 		var r result
 		if err := json.Unmarshal(data, &r); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", f, err)
 			os.Exit(1)
 		}
-		fmt.Printf("## %s\n\n", r.ID)
-		for _, t := range r.Tables {
-			fmt.Println("```")
-			fmt.Print(t)
-			fmt.Println("```")
-			fmt.Println()
+		renderResult(r)
+	}
+}
+
+// renderResult prints one experiment result section.
+func renderResult(r result) {
+	fmt.Printf("## %s\n\n", r.ID)
+	for _, t := range r.Tables {
+		fmt.Println("```")
+		fmt.Print(t)
+		fmt.Println("```")
+		fmt.Println()
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
 		}
-		if len(r.Values) > 0 {
-			keys := make([]string, 0, len(r.Values))
-			for k := range r.Values {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			fmt.Println("| value | measurement |")
-			fmt.Println("|---|---|")
-			for _, k := range keys {
-				fmt.Printf("| `%s` | %g |\n", k, r.Values[k])
-			}
-			fmt.Println()
+		sort.Strings(keys)
+		fmt.Println("| value | measurement |")
+		fmt.Println("|---|---|")
+		for _, k := range keys {
+			fmt.Printf("| `%s` | %g |\n", k, r.Values[k])
 		}
-		if line := outcomeLine(r.Values); line != "" {
-			fmt.Printf("> %s\n\n", line)
+		fmt.Println()
+	}
+	if line := outcomeLine(r.Values); line != "" {
+		fmt.Printf("> %s\n\n", line)
+	}
+	if line := retryLine(r.Values); line != "" {
+		fmt.Printf("> %s\n\n", line)
+	}
+	for _, n := range r.Notes {
+		fmt.Printf("> %s\n\n", n)
+	}
+}
+
+// renderBench prints a perf-harness artifact as a markdown table. The
+// simulation-side columns (events/op, simulated ns/op) are seed-pinned
+// and comparable across hosts; the wall-clock columns are not.
+func renderBench(name string, f *obs.BenchFile) {
+	fmt.Printf("## %s — perf harness (%s, %s)\n\n", name, f.Schema, f.GoVersion)
+	fmt.Println("| scenario | iters | ms/op | events/op | Mevents/s | allocs/op | KiB/op | simulated ms/op |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, s := range f.Scenarios {
+		fmt.Printf("| %s | %d | %.1f | %d | %.2f | %d | %.0f | %.0f |\n",
+			s.Scenario, s.Iters, float64(s.NsPerOp)/1e6, s.EventsPerOp,
+			s.EventsPerSec/1e6, s.AllocsPerOp, float64(s.BytesPerOp)/1024,
+			float64(s.SimulatedNsPerOp)/1e6)
+	}
+	fmt.Println()
+	fmt.Println("> events/op and simulated ms/op are deterministic (seed-pinned) and double as replay checks; the wall-clock columns vary by host.")
+	fmt.Println()
+}
+
+// parseSnapshot tries to decode a metrics snapshot. A snapshot is
+// recognized by shape: valid JSON object carrying at least one of the
+// counters/gauges/histograms arrays and none of the experiment-result
+// fields.
+func parseSnapshot(data []byte) (*obs.Snapshot, bool) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, false
+	}
+	if _, isResult := probe["id"]; isResult {
+		return nil, false
+	}
+	_, hasC := probe["counters"]
+	_, hasG := probe["gauges"]
+	_, hasH := probe["histograms"]
+	if !hasC && !hasG && !hasH {
+		return nil, false
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, false
+	}
+	return &snap, true
+}
+
+// renderSnapshot prints a metrics snapshot as markdown tables.
+func renderSnapshot(name string, s *obs.Snapshot) {
+	fmt.Printf("## %s — metrics snapshot\n\n", name)
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+		fmt.Println("| metric | value |")
+		fmt.Println("|---|---|")
+		cs := append([]obs.CounterSnap{}, s.Counters...)
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+		for _, c := range cs {
+			fmt.Printf("| `%s` | %d |\n", c.Name, c.Value)
 		}
-		for _, n := range r.Notes {
-			fmt.Printf("> %s\n\n", n)
+		gs := append([]obs.GaugeSnap{}, s.Gauges...)
+		sort.SliceStable(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+		for _, g := range gs {
+			fmt.Printf("| `%s` | %g |\n", g.Name, g.Value)
 		}
+		fmt.Println()
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Println("| histogram | count | mean µs | p50 µs | p99 µs | max µs |")
+		fmt.Println("|---|---|---|---|---|---|")
+		hs := append([]obs.HistogramSnap{}, s.Histograms...)
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
+		for _, h := range hs {
+			fmt.Printf("| `%s` | %d | %.1f | %.1f | %.1f | %.1f |\n",
+				h.Name, h.Count, float64(h.MeanNs)/1e3, float64(h.P50Ns)/1e3,
+				float64(h.P99Ns)/1e3, float64(h.MaxNs)/1e3)
+		}
+		fmt.Println()
 	}
 }
 
@@ -121,4 +222,33 @@ func outcomeLine(values map[string]float64) string {
 	}
 	return fmt.Sprintf("request lifecycle: WARNING — only %d/%d fault levels reached 100%% terminal (drained: %s)",
 		len(drained), len(levels), strings.Join(drained, ", "))
+}
+
+// retryLine labels the retry/failover work when the result carries
+// req_retried_* values: how many attempts were re-issued after faults
+// and how many requests exhausted the policy into the dead-letter
+// queue. It returns "" for results without those keys.
+func retryLine(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values { //taichi:allow maporder — keys are sorted before iteration below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	retried, dead, issued := 0.0, 0.0, 0.0
+	found := false
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "req_retried_") {
+			continue
+		}
+		found = true
+		lvl := strings.TrimPrefix(k, "req_retried_")
+		retried += values[k]
+		dead += values["req_dead_"+lvl]
+		issued += values["req_issued_"+lvl]
+	}
+	if !found || issued == 0 {
+		return ""
+	}
+	return fmt.Sprintf("retry/failover: %g of %g issued requests needed at least one retry; %g dead-lettered after exhausting the policy",
+		retried, issued, dead)
 }

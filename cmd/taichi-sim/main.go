@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -331,6 +333,8 @@ func main() {
 	faultsFlag := flag.String("faults", "off", "fault-injection spec: off | default | key=value,... (see internal/faults.ParseSpec)")
 	retry := flag.Bool("retry", false, "enable per-request deadlines, retries and dead-lettering for -workload vmstartup")
 	failover := flag.Bool("failover", false, "fleet mode: re-dispatch requests stranded on unhealthy nodes to healthy ones (-workload vmstartup, -nodes > 1)")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, anything else = JSON)")
+	simprof := flag.Bool("simprof", false, "engine self-profiling: per-event-class dispatch counts, heap high-water mark, wall-clock attribution (single-node only)")
 	flag.Parse()
 
 	horizon := sim.Duration(durFlag.Nanoseconds())
@@ -346,7 +350,11 @@ func main() {
 	}
 
 	if *nodes > 1 {
-		runFleet(*mode, *wl, *cp, *util, spec, *retry, *failover, *seed, horizon, *nodes, *parallel)
+		if *simprof {
+			fmt.Fprintln(os.Stderr, "-simprof profiles one engine; use it with -nodes 1")
+			os.Exit(2)
+		}
+		runFleet(*mode, *wl, *cp, *util, spec, *retry, *failover, *seed, horizon, *nodes, *parallel, *metricsOut)
 		return
 	}
 
@@ -356,6 +364,15 @@ func main() {
 		os.Exit(2)
 	}
 	node := sc.node
+
+	var prof *sim.Profile
+	if *simprof {
+		prof = sim.NewProfile()
+		// Wall-clock attribution is injected here, in cmd/ where wall
+		// time is legal — the engine itself never reads a clock.
+		prof.Clock = func() int64 { return time.Now().UnixNano() } //taichi:allow walltime — profiler attribution source, never enters simulated state
+		node.Engine.EnableProfile(prof)
+	}
 
 	start := time.Now() //taichi:allow walltime — operator-facing wall-clock cost of the run; never enters simulated state
 	node.Run(node.Now().Add(horizon))
@@ -395,6 +412,85 @@ func main() {
 			fmt.Println(sc.tc.Breaker.Describe())
 		}
 	}
+
+	if prof != nil {
+		// Deterministic half first (dispatch counts, heap depth), then the
+		// wall-clock attribution, which varies run to run by design.
+		fmt.Print(prof.Describe())
+		for _, c := range prof.Dispatch() {
+			if c.WallNs > 0 {
+				fmt.Printf("sim-profile.wall: %s=%.3fms\n", c.Name, float64(c.WallNs)/1e6)
+			}
+		}
+	}
+
+	if *metricsOut != "" {
+		writeMetrics(*metricsOut, snapshotScenario(sc))
+	}
+}
+
+// snapshotScenario assembles the single-node metrics snapshot: the
+// node registry, the workload's collect output, and the scheduler /
+// request-manager / fault-injector counters when present.
+func snapshotScenario(sc *scenario) *obs.Snapshot {
+	snap := obs.NewSnapshot()
+	snap.AddRegistry("node", sc.node.Metrics)
+	snap.AddCounter("engine_events", sc.node.Engine.Fired())
+	agg := fleet.NewAggregates()
+	sc.collect(agg)
+	for _, name := range agg.HistogramNames() {
+		snap.AddHistogram(name, agg.Histogram(name))
+	}
+	for _, name := range agg.ScalarNames() {
+		snap.AddGauge(name, agg.Scalar(name))
+	}
+	if sc.tc != nil && sc.tc.Sched != nil {
+		s := sc.tc.Sched
+		snap.AddCounter("sched_yields", s.Yields.Value())
+		snap.AddCounter("sched_preempts", s.Preempts.Value())
+		snap.AddCounter("sched_rescues", s.Rescues.Value())
+		snap.AddCounter("sched_rotations", s.Rotations.Value())
+		snap.AddHistogram("sched_preempt_latency", s.PreemptLatency)
+	}
+	if sc.mgr != nil {
+		snap.AddGroup("vm_outcomes", sc.mgr.Outcomes)
+		snap.AddHistogram("vm_startup", sc.mgr.StartupTime)
+		snap.AddHistogram("vm_cp_exec", sc.mgr.CPExecTime)
+	}
+	if sc.inj != nil {
+		snap.AddGroup("faults_injected", sc.inj.Counts)
+	}
+	return snap
+}
+
+// snapshotFleet assembles the fleet-wide snapshot from merged
+// aggregates: histograms as summaries, scalars as gauges.
+func snapshotFleet(agg *fleet.Aggregates) *obs.Snapshot {
+	snap := obs.NewSnapshot()
+	snap.AddCounter("fleet_members", uint64(agg.Members))
+	for _, name := range agg.HistogramNames() {
+		snap.AddHistogram(name, agg.Histogram(name))
+	}
+	for _, name := range agg.ScalarNames() {
+		snap.AddGauge(name, agg.Scalar(name))
+	}
+	return snap
+}
+
+// writeMetrics renders the snapshot by file extension: .prom gets the
+// Prometheus text exposition, anything else JSON.
+func writeMetrics(path string, snap *obs.Snapshot) {
+	var data []byte
+	if strings.HasSuffix(path, ".prom") {
+		data = snap.Prometheus()
+	} else {
+		data = snap.JSON()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
 }
 
 // runFleet executes the scenario on n independently-seeded nodes via the
@@ -403,7 +499,7 @@ func main() {
 // request count, and the stranded work of unhealthy nodes is re-run on
 // the healthy ones (fleet.RunFailover) with its startup latency merged
 // into the same SLO-facing histogram.
-func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, failover bool, seed int64, horizon sim.Duration, n, workers int) {
+func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, failover bool, seed int64, horizon sim.Duration, n, workers int, metricsOut string) {
 	start := time.Now() //taichi:allow walltime — fleet throughput report (nodes/s); results themselves are seed-deterministic
 	member := func(idx int, memberSeed int64, a *fleet.Aggregates) *scenario {
 		sc, err := build(mode, wl, cp, util, spec, retry, memberSeed, horizon)
@@ -453,4 +549,7 @@ func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, fa
 	fmt.Printf("per-node means: cp done %.1f/%.1f, net util %.1f%%, stor util %.1f%%\n",
 		agg.Scalar("cp.done")/members, agg.Scalar("cp.tasks")/members,
 		100*agg.Scalar("dp.net_util")/members, 100*agg.Scalar("dp.stor_util")/members)
+	if metricsOut != "" {
+		writeMetrics(metricsOut, snapshotFleet(agg))
+	}
 }

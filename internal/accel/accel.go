@@ -154,7 +154,7 @@ func (p *Probe) fire(core int, why string) {
 	p.pending[core] = true
 	p.IRQs++
 	p.tracer.Emit(p.engine.Now(), trace.KindProbeIRQ, core, 0, why)
-	p.engine.Schedule(p.IRQLatency, func() {
+	p.engine.ScheduleNamed(p.IRQLatency, "accel.probe-irq", func() {
 		if p.OnIRQ != nil {
 			p.OnIRQ(core)
 		}
@@ -239,7 +239,7 @@ func (pl *Pipeline) Inject(p *Packet) {
 	// The preprocess and transfer stages complete back-to-back with no
 	// intervening decision point, so one simulation event covers both;
 	// the stage-boundary trace record carries its true timestamp.
-	pl.engine.Schedule(pl.cfg.Preprocess+pl.cfg.Transfer, func() {
+	pl.engine.ScheduleNamed(pl.cfg.Preprocess+pl.cfg.Transfer, "accel.pipeline", func() {
 		pl.tracer.Emit(now.Add(pl.cfg.Preprocess), trace.KindPacketPreprocessDone, p.Core, p.ID, "")
 		pl.tracer.Emit(pl.engine.Now(), trace.KindPacketDelivered, p.Core, p.ID, "")
 		pl.inFlight[p.Core]--

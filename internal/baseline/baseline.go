@@ -23,6 +23,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Static is the production static-partitioning baseline: DP services own
@@ -74,6 +75,9 @@ func (b *Static) Lock() *kernel.SpinLock { return b.DriverLock }
 
 // Stream returns a deterministic RNG stream (cluster.Host).
 func (b *Static) Stream(name string) *rand.Rand { return b.Node.RNG.Stream(name) }
+
+// Tracer exposes the node's event tracer (cluster.TracerHost).
+func (b *Static) Tracer() *trace.Tracer { return b.Node.Tracer }
 
 // Coordinator returns the native CP→DP configuration path (cluster.Host).
 func (b *Static) Coordinator() controlplane.DPCoordinator {
@@ -167,6 +171,9 @@ func (b *Type2) Lock() *kernel.SpinLock { return b.DriverLock }
 
 // Stream returns a deterministic RNG stream (cluster.Host).
 func (b *Type2) Stream(name string) *rand.Rand { return b.Node.RNG.Stream(name) }
+
+// Tracer exposes the node's event tracer (cluster.TracerHost).
+func (b *Type2) Tracer() *trace.Tracer { return b.Node.Tracer }
 
 // Run advances simulated time.
 func (b *Type2) Run(until sim.Time) { b.Node.Run(until) }

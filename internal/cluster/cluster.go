@@ -17,7 +17,17 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// TracerHost is the optional extension of Host that exposes the node's
+// event tracer. Hosts that implement it get request-lifecycle events
+// (req_issued, req_attempt, req_retry, req_completed, req_deadletter)
+// recorded into their trace, which is what lets taichi-trace -export
+// label retry and failover activity on the timeline.
+type TracerHost interface {
+	Tracer() *trace.Tracer
+}
 
 // Host abstracts the node flavour (Tai Chi, static, type-2) the manager
 // drives: it can deploy CP tasks and exposes the simulated clock.
@@ -106,6 +116,11 @@ type Manager struct {
 
 	reqs   []*Request
 	retryR *rand.Rand // "cluster.retry" stream; nil when retries disabled
+	// tracer records request-lifecycle events when the host exposes one
+	// (TracerHost); a nil tracer is a valid no-op sink, so emission is
+	// unconditional. Emitting never schedules events or draws randomness,
+	// which keeps traced and untraced runs replay-identical.
+	tracer *trace.Tracer
 
 	cIssued, cCompleted, cRetried *metrics.Counter
 	cDead, cTimeouts, cNacks      *metrics.Counter
@@ -138,7 +153,16 @@ func NewManager(host Host, cfg Config) *Manager {
 		// identical to the pre-lifecycle manager.
 		m.retryR = host.Stream("cluster.retry")
 	}
+	if th, ok := host.(TracerHost); ok {
+		m.tracer = th.Tracer()
+	}
 	return m
+}
+
+// emit records one request-lifecycle trace event (no-op without a
+// TracerHost). CPU is -1: requests live in the manager, not on a core.
+func (m *Manager) emit(kind trace.Kind, id int, note string) {
+	m.tracer.Emit(m.host.Engine().Now(), kind, -1, int64(id), note)
 }
 
 // Start launches the background monitors and the VM-creation arrival
@@ -180,6 +204,7 @@ func (m *Manager) createVM() {
 	req := &Request{ID: id, IssuedAt: m.host.Engine().Now(), state: ReqPending}
 	m.reqs = append(m.reqs, req)
 	m.cIssued.Inc()
+	m.emit(trace.KindRequestIssued, id, "")
 
 	// Provision inventory records (one ENIC, the rest VBlk per Table 4).
 	req.records = make([]*device.Device, len(m.cfg.Devices))
@@ -205,6 +230,7 @@ func (m *Manager) beginAttempt(req *Request) {
 	req.Attempts++
 	attempt := req.Attempts
 	req.state = ReqProvisioning
+	m.emit(trace.KindRequestAttempt, req.ID, fmt.Sprintf("attempt%d", attempt))
 
 	stream := fmt.Sprintf("vm%d", req.ID)
 	name := fmt.Sprintf("devinit-vm%d", req.ID)
@@ -277,6 +303,7 @@ func (m *Manager) attemptDevicesDone(req *Request, attempt int) {
 		req.state = ReqCompleted
 		req.CompletedAt = m.host.Engine().Now()
 		m.cCompleted.Inc()
+		m.emit(trace.KindRequestCompleted, req.ID, "")
 		m.StartupTime.Record(req.CompletedAt.Sub(req.IssuedAt))
 		if m.cfg.VMLifetime > 0 {
 			m.host.Engine().Schedule(sim.Exponential(m.r, m.cfg.VMLifetime), func() {
@@ -309,6 +336,7 @@ func (m *Manager) attemptFailed(req *Request, attempt int, reason string) {
 	}
 	req.state = ReqRetrying
 	m.cRetried.Inc()
+	m.emit(trace.KindRequestRetry, req.ID, reason)
 	delay := sim.Jitter(m.retryR, m.cfg.Retry.backoff(attempt), m.cfg.Retry.JitterFrac)
 	m.host.Engine().Schedule(delay, func() {
 		if req.state != ReqRetrying {
@@ -324,6 +352,7 @@ func (m *Manager) deadLetter(req *Request, reason string) {
 	req.state = ReqDeadLettered
 	req.Reason = reason
 	m.cDead.Inc()
+	m.emit(trace.KindRequestDeadLetter, req.ID, reason)
 	for _, d := range req.records {
 		m.Devices.Abort(d)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vcpu"
 )
 
@@ -167,6 +168,8 @@ func (s *Scheduler) reclaimWatchdog(slot *dpSlot) {
 		// Escalate: a forced IPI this time, not a probe request.
 		slot.wdRetries++
 		s.WatchdogRetries.Inc()
+		s.node.Tracer.Emit(s.engine.Now(), trace.KindReclaimEscalate, slot.dp.ID,
+			int64(slot.wdRetries), "forced-ipi")
 		if slot.occupant != nil {
 			slot.occupant.ForceExit(vcpu.ExitForced)
 		}
@@ -185,6 +188,8 @@ func (s *Scheduler) reclaimWatchdog(slot *dpSlot) {
 	// onExit, which resumes the DP (counting the recovery in resumeDP).
 	s.WatchdogTeardowns.Inc()
 	d.teardowns++
+	s.node.Tracer.Emit(s.engine.Now(), trace.KindReclaimEscalate, slot.dp.ID,
+		int64(d.teardowns), "teardown")
 	if v := slot.occupant; v != nil {
 		v.Teardown()
 	}
@@ -238,6 +243,9 @@ func (s *Scheduler) enterStatic() {
 	d := s.defense
 	d.mode = ModeStatic
 	s.StaticFallbacks.Inc()
+	// CPU -1: the fallback is a scheduler-wide decision, not tied to one core.
+	s.node.Tracer.Emit(s.engine.Now(), trace.KindReclaimEscalate, -1,
+		int64(d.teardowns), "static")
 	for _, id := range s.order {
 		slot := s.slots[id]
 		slot.available = false

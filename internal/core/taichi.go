@@ -11,6 +11,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vcpu"
 )
 
@@ -126,6 +127,12 @@ func (t *TaiChi) Describe() string {
 	} else {
 		fmt.Fprintf(&b, "%s\n", controlplane.ZeroBreakerLine())
 	}
+	// Self-profiling lines appear only when a profile was explicitly
+	// installed (sim.Engine.EnableProfile); default runs keep the exact
+	// historical Describe bytes.
+	if p := t.Node.Engine.Profile(); p != nil {
+		b.WriteString(p.Describe())
+	}
 	return b.String()
 }
 
@@ -150,6 +157,9 @@ func (t *TaiChi) SpawnCP(name string, prog kernel.Program) *kernel.Thread {
 
 // Stream returns a deterministic RNG stream for a named workload.
 func (t *TaiChi) Stream(name string) *rand.Rand { return t.Node.RNG.Stream(name) }
+
+// Tracer exposes the node's event tracer (cluster.TracerHost).
+func (t *TaiChi) Tracer() *trace.Tracer { return t.Node.Tracer }
 
 // Run advances simulated time.
 func (t *TaiChi) Run(until sim.Time) { t.Node.Run(until) }

@@ -186,7 +186,7 @@ func (c *Core) processNext() {
 		}
 	}
 	c.Gauge.SetBusy(c.engine.Now(), true)
-	c.engine.Schedule(cost, func() {
+	c.engine.ScheduleNamed(cost, "dp.batch", func() {
 		now := c.engine.Now()
 		c.WorkTime += cost
 		for _, p := range batch {
@@ -210,7 +210,7 @@ func (c *Core) armIdle() {
 	if n <= 0 {
 		n = 1
 	}
-	c.idleEv = c.engine.Schedule(sim.Duration(n)*c.cfg.EmptyPollCost, func() {
+	c.idleEv = c.engine.ScheduleNamed(sim.Duration(n)*c.cfg.EmptyPollCost, "dp.idle-poll", func() {
 		c.idleEv = nil
 		if c.state == Polling && len(c.queue) == 0 {
 			c.tracer.Emit(c.engine.Now(), trace.KindYield, c.ID, 0, "idle-detected")

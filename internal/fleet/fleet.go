@@ -70,6 +70,13 @@ func (a *Aggregates) Add(name string, v float64) { a.scalars[name] += v }
 // Scalar returns an accumulated value.
 func (a *Aggregates) Scalar(name string) float64 { return a.scalars[name] }
 
+// HistogramNames returns the sorted names of all fleet histograms — the
+// deterministic iteration surface for exporters (internal/obs).
+func (a *Aggregates) HistogramNames() []string { return metrics.SortedKeys(a.hist) }
+
+// ScalarNames returns the sorted names of all accumulated scalars.
+func (a *Aggregates) ScalarNames() []string { return metrics.SortedKeys(a.scalars) }
+
 // MergeFrom folds every histogram, scalar, and the member count of o into
 // a. Names are visited in sorted order so that repeated merges perform
 // float additions in a reproducible sequence.

@@ -90,7 +90,7 @@ func (c *CPU) startRun(d sim.Duration, done func()) {
 	}
 	c.runStart = c.kern.engine.Now()
 	c.runDone = done
-	c.runEv = c.kern.engine.Schedule(d, func() {
+	c.runEv = c.kern.engine.ScheduleNamed(d, "kernel.run", func() {
 		c.runEv = nil
 		fn := c.runDone
 		c.runDone = nil

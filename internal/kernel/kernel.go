@@ -368,7 +368,7 @@ func (k *Kernel) startSegment(c *CPU) {
 		t.state = StateSleeping
 		t.cpu = nil
 		c.cur = nil
-		k.engine.Schedule(dur, func() { k.makeRunnable(t) })
+		k.engine.ScheduleNamed(dur, "kernel.sleep", func() { k.makeRunnable(t) })
 		k.schedule(c)
 	case SegWait:
 		if t.pendingSignal {
@@ -689,7 +689,7 @@ func (k *Kernel) DeliverIPIDirect(dst CPUID, vec Vector, arg int64, seq int64) {
 		}
 		latency += delay
 	}
-	k.engine.Schedule(latency, func() {
+	k.engine.ScheduleNamed(latency, "kernel.ipi", func() {
 		c := k.CPU(dst)
 		if c == nil {
 			return
@@ -723,7 +723,7 @@ func (k *Kernel) RegisterSoftirq(vec Vector, fn func(cpu CPUID)) {
 // softirq dispatch latency.
 func (k *Kernel) RaiseSoftirq(cpu CPUID, vec Vector) {
 	k.tracer.Emit(k.engine.Now(), trace.KindSoftirqRaise, int(cpu), int64(vec), "")
-	k.engine.Schedule(k.cfg.SoftirqLatency, func() {
+	k.engine.ScheduleNamed(k.cfg.SoftirqLatency, "kernel.softirq", func() {
 		k.tracer.Emit(k.engine.Now(), trace.KindSoftirqRun, int(cpu), int64(vec), "")
 		if h := k.softirqHandlers[vec]; h != nil {
 			h(cpu)

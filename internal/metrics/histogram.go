@@ -106,6 +106,10 @@ func (h *Histogram) Record(v sim.Duration) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the exact sum of recorded values in nanoseconds — the
+// `_sum` series of the Prometheus summary exposition (internal/obs).
+func (h *Histogram) Sum() float64 { return h.sum }
+
 // Min returns the smallest recorded value, or 0 if empty.
 func (h *Histogram) Min() sim.Duration {
 	if h.count == 0 {

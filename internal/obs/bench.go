@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// BenchSchema identifies the BENCH_taichi.json layout. Bump on any
+// field change so downstream tooling can refuse files it does not
+// understand instead of mis-parsing them.
+const BenchSchema = "taichi-bench/v1"
+
+// BenchScenario is one pinned scenario's measurement in a `make bench`
+// run. Wall-clock figures (NsPerOp, EventsPerSec) vary run to run —
+// that is the point of a perf harness — but the simulation-side fields
+// (EventsPerOp, SimulatedNsPerOp) are deterministic and double as a
+// cheap replay check: two hosts disagreeing on them indicates a
+// determinism bug, not a perf delta.
+type BenchScenario struct {
+	Scenario string `json:"scenario"`
+	Iters    int    `json:"iters"`
+	// NsPerOp is mean wall-clock nanoseconds per scenario iteration.
+	NsPerOp int64 `json:"ns_per_op"`
+	// EventsPerOp is the deterministic engine-event count per iteration.
+	EventsPerOp uint64 `json:"events_per_op"`
+	// EventsPerSec is the wall-clock event-dispatch throughput.
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	// SimulatedNsPerOp is how much simulated time one iteration covers.
+	SimulatedNsPerOp int64 `json:"simulated_ns_per_op"`
+}
+
+// BenchFile is the top-level BENCH_taichi.json document.
+type BenchFile struct {
+	Schema    string          `json:"schema"`
+	GoVersion string          `json:"go_version"`
+	Scenarios []BenchScenario `json:"scenarios"`
+}
+
+// Marshal renders the file with scenarios in name order, indented, with
+// a trailing newline.
+func (f *BenchFile) Marshal() []byte {
+	out := *f
+	out.Scenarios = append([]BenchScenario{}, f.Scenarios...)
+	sort.SliceStable(out.Scenarios, func(i, j int) bool {
+		return out.Scenarios[i].Scenario < out.Scenarios[j].Scenario
+	})
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		panic("obs: bench marshal: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// ValidateBench parses data as a BENCH_taichi.json document and checks
+// the schema invariants `make bench-smoke` relies on: correct schema
+// tag, at least one scenario, and per-scenario sanity (named, positive
+// iteration and event counts, positive wall time). It returns the
+// parsed file so callers can inspect further.
+func ValidateBench(data []byte) (*BenchFile, error) {
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench file: %w", err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench file: schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("bench file: no scenarios")
+	}
+	seen := map[string]bool{}
+	for i, s := range f.Scenarios {
+		if s.Scenario == "" {
+			return nil, fmt.Errorf("bench file: scenario %d unnamed", i)
+		}
+		if seen[s.Scenario] {
+			return nil, fmt.Errorf("bench file: scenario %q duplicated", s.Scenario)
+		}
+		seen[s.Scenario] = true
+		if s.Iters <= 0 {
+			return nil, fmt.Errorf("bench scenario %q: iters %d, want > 0", s.Scenario, s.Iters)
+		}
+		if s.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench scenario %q: ns_per_op %d, want > 0", s.Scenario, s.NsPerOp)
+		}
+		if s.EventsPerOp == 0 {
+			return nil, fmt.Errorf("bench scenario %q: events_per_op 0, want > 0", s.Scenario)
+		}
+		if s.EventsPerSec <= 0 {
+			return nil, fmt.Errorf("bench scenario %q: events_per_sec %g, want > 0", s.Scenario, s.EventsPerSec)
+		}
+		if s.SimulatedNsPerOp <= 0 {
+			return nil, fmt.Errorf("bench scenario %q: simulated_ns_per_op %d, want > 0", s.Scenario, s.SimulatedNsPerOp)
+		}
+	}
+	return &f, nil
+}

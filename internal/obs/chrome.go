@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NodeTrace is one node's share of an export: a display label and its
+// recorded events. Multi-node exports (fleet runs) pass one NodeTrace
+// per member in member-index order; the member index becomes the Chrome
+// pid, so worker count and completion order cannot influence the bytes.
+type NodeTrace struct {
+	Label  string
+	Events []trace.Event
+}
+
+// mgrTID is the Chrome thread id used for events with CPU -1 (the
+// VM-request manager and other node-wide actors). Chrome/Perfetto want
+// non-negative thread ids.
+const mgrTID = 255
+
+// ChromeJSON renders the nodes' traces in the Chrome trace-event JSON
+// format (the JSON Array Format with a displayTimeUnit wrapper), one
+// event per line. Spans become "X" complete events, unpaired markers
+// become "i" instants, and each node gets a process_name metadata
+// record. The assembly is pure integer math plus fixed field order:
+// byte-identical output for identical traces, regardless of host,
+// worker count, or repetition.
+func ChromeJSON(nodes []NodeTrace) []byte {
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for pid, n := range nodes {
+		emit(fmt.Sprintf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":%s}}",
+			pid, quoteJSON(n.Label)))
+		emit(fmt.Sprintf("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"node\"}}",
+			pid, mgrTID))
+		d := Derive(n.Events)
+		for _, s := range d.Spans {
+			line := fmt.Sprintf("{\"name\":%s,\"cat\":\"span\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"id\":%d,\"arg\":%d",
+				quoteJSON(s.Class), usec(int64(s.Start)), usec(int64(s.Duration())), pid, tid(s.CPU), s.ID, s.Arg)
+			if s.Note != "" {
+				line += ",\"note\":" + quoteJSON(s.Note)
+			}
+			if s.Truncated {
+				line += ",\"truncated\":true"
+			}
+			emit(line + "}}")
+		}
+		for _, in := range d.Instants {
+			line := fmt.Sprintf("{\"name\":%s,\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%d",
+				quoteJSON(in.Name), usec(int64(in.At)), pid, tid(in.CPU), in.Arg)
+			if in.Note != "" {
+				line += ",\"note\":" + quoteJSON(in.Note)
+			}
+			emit(line + "}}")
+		}
+	}
+	b.WriteString("\n]}\n")
+	return b.Bytes()
+}
+
+// tid maps a trace CPU id to a Chrome thread id.
+func tid(cpu int) int {
+	if cpu < 0 {
+		return mgrTID
+	}
+	return cpu
+}
+
+// usec renders nanoseconds as microseconds with exactly three decimal
+// places, using integer math only — no float formatting, no locale, no
+// rounding-mode dependence.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// quoteJSON renders s as a JSON string. encoding/json's string escaping
+// is deterministic, and notes never fail to marshal.
+func quoteJSON(s string) string {
+	out, err := json.Marshal(s)
+	if err != nil {
+		// Unreachable for strings; keep the exporter total anyway.
+		return "\"\""
+	}
+	return string(out)
+}
+
+// ChromeJSONSingle is ChromeJSON for the common one-node case.
+func ChromeJSONSingle(label string, events []trace.Event) []byte {
+	return ChromeJSON([]NodeTrace{{Label: label, Events: events}})
+}
+
+// SpanSummary aggregates derived spans per class: count, truncation
+// count, and total duration. Handy for quick textual reports and for
+// asserting derivation behaviour in tests without string-diffing JSON.
+type SpanSummary struct {
+	Class     string
+	Count     int
+	Truncated int
+	Total     sim.Duration
+}
+
+// Summarize folds a derivation's spans into per-class summaries, sorted
+// by class name.
+func Summarize(d Derivation) []SpanSummary {
+	idx := map[string]int{}
+	var out []SpanSummary
+	for _, s := range d.Spans {
+		i, ok := idx[s.Class]
+		if !ok {
+			i = len(out)
+			idx[s.Class] = i
+			out = append(out, SpanSummary{Class: s.Class})
+		}
+		out[i].Count++
+		if s.Truncated {
+			out[i].Truncated++
+		}
+		out[i].Total += s.Duration()
+	}
+	// Spans are already canonically sorted, but class first-appearance
+	// order is start-time order; reports want name order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Class > out[j].Class; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

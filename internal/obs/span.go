@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Span is one derived lifecycle interval. IDs are deterministic: after
+// derivation the spans are sorted canonically (Start, End, Class, CPU,
+// Arg, Note) and the ID is the span's position in that order — so two
+// runs of the same seed, or the same run exported twice, number their
+// spans identically.
+type Span struct {
+	ID    int
+	Class string // "np", "vm", "lend", "reclaim", "softirq", "ipi", "packet", "attempt", "request"
+	CPU   int    // physical/logical CPU id; -1 for spans not tied to a core
+	Arg   int64  // pairing key where relevant (IPI id, packet id, VM id)
+	Start sim.Time
+	End   sim.Time
+	Note  string
+	// Truncated marks a begin that never saw its end inside the trace
+	// (run horizon hit, or the tracer's event cap dropped the close).
+	// The span is clipped to the last traced instant.
+	Truncated bool
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+// Instant is a point event that does not open or close a span but is
+// still worth a timeline marker (context switches, watchdog escalation
+// rungs, retry detours, packet stage progress).
+type Instant struct {
+	At   sim.Time
+	Name string
+	CPU  int
+	Arg  int64
+	Note string
+}
+
+// Derivation is the result of Derive: the span list (sorted, IDs
+// assigned) plus the instant markers in trace order.
+type Derivation struct {
+	Spans    []Span
+	Instants []Instant
+}
+
+// Span derivation rules — the begin/end pairings documented in
+// OBSERVABILITY.md. Per-CPU classes pair on the CPU field, per-entity
+// classes on Arg. Ends pop the most recent open begin (LIFO), so
+// nested or re-entered sections still pair deterministically.
+//
+//	np      np_begin        → np_end          per CPU
+//	vm      vm_entry        → vm_exit         per CPU (note: exit reason)
+//	lend    yield           → preempt         per CPU
+//	reclaim probe_irq       → preempt         per CPU (the §4.3 window)
+//	softirq softirq_raise   → softirq_run     per CPU
+//	ipi     ipi_send        → ipi_deliver     per Arg (IPI id)
+//	packet  pkt_arrive      → pkt_processed   per Arg (packet id)
+//	attempt req_attempt     → req_retry | req_completed | req_deadletter  per Arg (VM id)
+//	request req_issued      → req_completed | req_deadletter              per Arg (VM id)
+//
+// A preempt closes both the open lend and the open reclaim window on
+// its CPU: the reclaim is the tail of the lend it interrupts.
+type openKey struct {
+	class string
+	key   int64 // CPU for per-CPU classes, Arg for per-entity classes
+}
+
+type openSpan struct {
+	start sim.Time
+	cpu   int
+	arg   int64
+	note  string
+}
+
+// Derive pairs a trace's events into spans and instants. Events must be
+// in emission order (which is chronological: the tracer records at the
+// engine clock). Open spans at the end of the trace are emitted
+// truncated, clipped to the last event's instant.
+func Derive(events []trace.Event) Derivation {
+	open := map[openKey][]openSpan{}
+	var spans []Span
+	var instants []Instant
+
+	push := func(class string, key int64, e trace.Event) {
+		k := openKey{class, key}
+		open[k] = append(open[k], openSpan{start: e.At, cpu: e.CPU, arg: e.Arg, note: e.Note})
+	}
+	// pop closes the most recent open span of the class, preferring the
+	// close event's note when the begin carried none.
+	pop := func(class string, key int64, e trace.Event) bool {
+		k := openKey{class, key}
+		stack := open[k]
+		if len(stack) == 0 {
+			return false
+		}
+		o := stack[len(stack)-1]
+		open[k] = stack[:len(stack)-1]
+		note := o.note
+		if note == "" {
+			note = e.Note
+		}
+		spans = append(spans, Span{
+			Class: class, CPU: o.cpu, Arg: o.arg,
+			Start: o.start, End: e.At, Note: note,
+		})
+		return true
+	}
+	mark := func(e trace.Event) {
+		instants = append(instants, Instant{
+			At: e.At, Name: e.Kind.String(), CPU: e.CPU, Arg: e.Arg, Note: e.Note,
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindNonPreemptibleBegin:
+			push("np", int64(e.CPU), e)
+		case trace.KindNonPreemptibleEnd:
+			pop("np", int64(e.CPU), e)
+		case trace.KindVMEntry:
+			push("vm", int64(e.CPU), e)
+		case trace.KindVMExit:
+			pop("vm", int64(e.CPU), e)
+		case trace.KindYield:
+			push("lend", int64(e.CPU), e)
+		case trace.KindProbeIRQ:
+			push("reclaim", int64(e.CPU), e)
+		case trace.KindPreempt:
+			pop("reclaim", int64(e.CPU), e)
+			pop("lend", int64(e.CPU), e)
+		case trace.KindSoftirqRaise:
+			push("softirq", int64(e.CPU), e)
+		case trace.KindSoftirqRun:
+			pop("softirq", int64(e.CPU), e)
+		case trace.KindIPISend:
+			push("ipi", e.Arg, e)
+		case trace.KindIPIDeliver:
+			pop("ipi", e.Arg, e)
+		case trace.KindPacketArrive:
+			push("packet", e.Arg, e)
+		case trace.KindPacketProcessed:
+			pop("packet", e.Arg, e)
+		case trace.KindPacketPreprocessDone, trace.KindPacketDelivered:
+			mark(e)
+		case trace.KindRequestIssued:
+			push("request", e.Arg, e)
+		case trace.KindRequestAttempt:
+			push("attempt", e.Arg, e)
+		case trace.KindRequestRetry:
+			pop("attempt", e.Arg, e)
+			mark(e)
+		case trace.KindRequestCompleted, trace.KindRequestDeadLetter:
+			pop("attempt", e.Arg, e)
+			pop("request", e.Arg, e)
+		case trace.KindSchedSwitch, trace.KindReclaimEscalate:
+			mark(e)
+		}
+	}
+
+	// Clip still-open spans to the last traced instant. Key order does
+	// not matter for correctness of the individual spans, but the final
+	// sort below is what fixes IDs, so iterate sorted keys anyway to
+	// keep every intermediate deterministic.
+	if len(events) > 0 {
+		end := events[len(events)-1].At
+		keys := make([]openKey, 0, len(open))
+		for k := range open {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].class != keys[j].class {
+				return keys[i].class < keys[j].class
+			}
+			return keys[i].key < keys[j].key
+		})
+		for _, k := range keys {
+			for _, o := range open[k] {
+				spans = append(spans, Span{
+					Class: k.class, CPU: o.cpu, Arg: o.arg,
+					Start: o.start, End: end, Note: o.note, Truncated: true,
+				})
+			}
+		}
+	}
+
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.CPU != b.CPU {
+			return a.CPU < b.CPU
+		}
+		if a.Arg != b.Arg {
+			return a.Arg < b.Arg
+		}
+		return a.Note < b.Note
+	})
+	for i := range spans {
+		spans[i].ID = i
+	}
+	return Derivation{Spans: spans, Instants: instants}
+}

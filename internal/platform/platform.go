@@ -102,6 +102,9 @@ func DefaultTraceKinds() []trace.Kind {
 		trace.KindIPISend, trace.KindIPIDeliver,
 		trace.KindYield, trace.KindPreempt, trace.KindProbeIRQ,
 		trace.KindSoftirqRaise, trace.KindSoftirqRun,
+		trace.KindRequestIssued, trace.KindRequestAttempt,
+		trace.KindRequestRetry, trace.KindRequestCompleted,
+		trace.KindRequestDeadLetter, trace.KindReclaimEscalate,
 	}
 }
 

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileDispatchCounts(t *testing.T) {
+	e := NewEngine()
+	p := NewProfile()
+	e.EnableProfile(p)
+	for i := 0; i < 5; i++ {
+		e.ScheduleNamed(Duration(i)*Microsecond, "tick", func() {})
+	}
+	e.ScheduleNamed(10*Microsecond, "tock", func() {})
+	e.Schedule(20*Microsecond, func() {}) // unnamed → "(anon)"
+	e.RunUntilIdle()
+
+	classes := p.Dispatch()
+	if len(classes) != 3 {
+		t.Fatalf("classes = %+v, want 3", classes)
+	}
+	// Name-sorted: (anon), tick, tock.
+	want := []struct {
+		name  string
+		count uint64
+	}{{"(anon)", 1}, {"tick", 5}, {"tock", 1}}
+	for i, w := range want {
+		if classes[i].Name != w.name || classes[i].Count != w.count {
+			t.Errorf("class %d = %+v, want %s=%d", i, classes[i], w.name, w.count)
+		}
+		if classes[i].WallNs != 0 {
+			t.Errorf("class %d has wall attribution %d with nil Clock", i, classes[i].WallNs)
+		}
+	}
+}
+
+func TestProfileHeapHighWater(t *testing.T) {
+	e := NewEngine()
+	p := NewProfile()
+	e.EnableProfile(p)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Duration(i+1)*Microsecond, func() {})
+	}
+	e.RunUntilIdle()
+	if p.HeapHighWater() != 7 {
+		t.Errorf("heap high-water = %d, want 7", p.HeapHighWater())
+	}
+}
+
+func TestProfileWallAttribution(t *testing.T) {
+	e := NewEngine()
+	p := NewProfile()
+	// A fake monotonic clock: advances 3ns per reading, so each dispatch
+	// is attributed exactly 3ns without touching a real wall clock.
+	var now int64
+	p.Clock = func() int64 { now += 3; return now }
+	e.EnableProfile(p)
+	e.ScheduleNamed(Microsecond, "work", func() {})
+	e.ScheduleNamed(2*Microsecond, "work", func() {})
+	e.RunUntilIdle()
+	classes := p.Dispatch()
+	if len(classes) != 1 || classes[0].WallNs != 6 {
+		t.Errorf("dispatch = %+v, want work with 6ns attributed", classes)
+	}
+	// Describe never renders wall attribution — it must stay
+	// byte-identical between profiled runs on different hosts.
+	if strings.Contains(p.Describe(), "wall") {
+		t.Errorf("Describe leaked wall attribution:\n%s", p.Describe())
+	}
+}
+
+func TestProfileDescribeDeterministic(t *testing.T) {
+	run := func() string {
+		e := NewEngine()
+		p := NewProfile()
+		e.EnableProfile(p)
+		e.ScheduleNamed(Microsecond, "b", func() {})
+		e.ScheduleNamed(2*Microsecond, "a", func() {})
+		e.ScheduleNamed(3*Microsecond, "a", func() {})
+		e.RunUntilIdle()
+		return p.Describe()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("Describe differs between identical runs:\n%s\nvs\n%s", a, b)
+	}
+	want := "sim-profile: dispatched=3 classes=2 heap-hwm=3\n" +
+		"sim-profile.dispatch: a=2\n" +
+		"sim-profile.dispatch: b=1\n"
+	if a != want {
+		t.Errorf("Describe = %q, want %q", a, want)
+	}
+}
+
+func TestProfileDoesNotPerturbExecution(t *testing.T) {
+	run := func(profiled bool) []Time {
+		e := NewEngine()
+		if profiled {
+			e.EnableProfile(NewProfile())
+		}
+		var got []Time
+		for i := 0; i < 50; i++ {
+			d := Duration((i*37)%11) * Microsecond
+			e.ScheduleNamed(d, "x", func() { got = append(got, e.Now()) })
+		}
+		e.RunUntilIdle()
+		return got
+	}
+	plain, profiled := run(false), run(true)
+	if len(plain) != len(profiled) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(profiled))
+	}
+	for i := range plain {
+		if plain[i] != profiled[i] {
+			t.Fatalf("event %d fired at %v profiled vs %v plain", i, profiled[i], plain[i])
+		}
+	}
+}

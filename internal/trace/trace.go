@@ -39,14 +39,39 @@ const (
 	KindPacketPreprocessDone
 	KindPacketDelivered
 	KindPacketProcessed
-	// KindYield / KindPreempt are the DP→CP and CP→DP transitions of §4.3.
+	// KindYield / KindPreempt are the DP→CP lend and CP→DP reclaim
+	// transitions of the §4.1 core-lending loop. (The adaptive empty-poll
+	// policy that decides *when* to yield is the §4.3 software probe; the
+	// transitions themselves belong to the §4.1 scheduler.)
 	KindYield
 	KindPreempt
-	// KindProbeIRQ is a hardware-workload-probe early interrupt.
+	// KindProbeIRQ is a hardware-workload-probe early interrupt (§4.3):
+	// the accelerator signals pending I/O for a lent core before
+	// preprocessing finishes, opening the reclaim window obs derives as a
+	// "reclaim" span.
 	KindProbeIRQ
 	// KindSoftirqRaise / KindSoftirqRun bracket the vCPU scheduler softirq.
 	KindSoftirqRaise
 	KindSoftirqRun
+	// Request-lifecycle kinds, emitted by internal/cluster's VM-startup
+	// manager. Arg is the VM id for all five.
+	//
+	// KindRequestIssued marks a VM-creation request entering the system.
+	KindRequestIssued
+	// KindRequestAttempt marks one provisioning attempt starting; Note
+	// carries the attempt ordinal ("attempt1", "attempt2", ...).
+	KindRequestAttempt
+	// KindRequestRetry marks a failed attempt detouring through backoff;
+	// Note carries the failure reason ("timeout", "nack").
+	KindRequestRetry
+	// KindRequestCompleted / KindRequestDeadLetter are the two terminal
+	// outcomes; Note on the dead-letter event carries the final reason.
+	KindRequestCompleted
+	KindRequestDeadLetter
+	// KindReclaimEscalate marks one rung of the reclaim watchdog's
+	// escalation ladder (ARCHITECTURE.md §6.2): Arg is the DP core id and
+	// Note is the rung ("forced-ipi", "teardown", "static").
+	KindReclaimEscalate
 )
 
 var kindNames = map[Kind]string{
@@ -66,6 +91,25 @@ var kindNames = map[Kind]string{
 	KindProbeIRQ:             "probe_irq",
 	KindSoftirqRaise:         "softirq_raise",
 	KindSoftirqRun:           "softirq_run",
+	KindRequestIssued:        "req_issued",
+	KindRequestAttempt:       "req_attempt",
+	KindRequestRetry:         "req_retry",
+	KindRequestCompleted:     "req_completed",
+	KindRequestDeadLetter:    "req_deadletter",
+	KindReclaimEscalate:      "reclaim_escalate",
+}
+
+// Kinds returns every named kind in declaration order — the exporter's
+// iteration surface, so a kind added here is automatically part of the
+// export schema (OBSERVABILITY.md documents the mapping).
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kindNames))
+	for k := KindNone + 1; int(k) <= len(kindNames); k++ {
+		if _, ok := kindNames[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // String returns the canonical short name of the kind.

@@ -203,13 +203,13 @@ func (v *VCPU) Enter(core int, slice sim.Duration, onExit func(v *VCPU, reason E
 	v.exitCb = onExit
 	v.Entries++
 	v.tracer.Emit(v.engine.Now(), trace.KindVMEntry, core, int64(v.cpu.ID), "")
-	v.engine.Schedule(v.costs.Entry, func() {
+	v.engine.ScheduleNamed(v.costs.Entry, "vcpu.entry", func() {
 		if v.state != StateEntering {
 			return // revoked mid-entry
 		}
 		v.state = StateRunning
 		if slice > 0 {
-			v.sliceTimer = v.engine.Schedule(slice, func() {
+			v.sliceTimer = v.engine.ScheduleNamed(slice, "vcpu.slice", func() {
 				v.sliceTimer = nil
 				if v.state == StateRunning {
 					v.beginExit(ExitTimer)
@@ -258,7 +258,7 @@ func (v *VCPU) beginExit(reason ExitReason) {
 		cost += v.ExitStall(v)
 	}
 	v.exitReason = reason
-	v.exitEv = v.engine.Schedule(cost, func() { v.completeExit(reason) })
+	v.exitEv = v.engine.ScheduleNamed(cost, "vcpu.exit", func() { v.completeExit(reason) })
 }
 
 // completeExit finishes the VM-exit transition: the core is free and the
