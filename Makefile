@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-go bench-smoke chaos-smoke
+.PHONY: check fmt vet lint build test race bench bench-go bench-smoke chaos-smoke audit-smoke
 
-check: fmt vet lint build race bench-smoke
+check: fmt vet lint build race bench-smoke audit-smoke
 
 # Determinism lint: wall clocks, global RNG, unordered map iteration,
 # core concurrency, and seedless constructors. Zero diagnostics is the
@@ -56,6 +56,16 @@ bench-smoke:
 	$(GO) run ./cmd/taichi-bench -benchout bench_smoke.json -scenarios chaos -iters 1
 	$(GO) run ./cmd/taichi-bench -validate bench_smoke.json
 	@rm -f bench_smoke.json
+
+# Invariant-auditor gate: a faulted, recovery-armed run must finish with
+# zero audit violations (taichi-sim exits non-zero otherwise), and the
+# auditor/recovery acceptance tests must pass. Part of `make check` so a
+# scheduler change that breaks a runtime invariant — double-lend, lost
+# request, illegal mode transition — fails pre-commit even when no
+# throughput number moves.
+audit-smoke:
+	$(GO) run ./cmd/taichi-sim -mode taichi -workload crr -dur 200ms -faults default -recover -audit > /dev/null
+	$(GO) test -count=1 -run 'TestAuditorCertifiesPinnedScenarios|TestChaosRecoveryReconverges|TestRecoveryLadderFlapping' . ./internal/experiments ./internal/core
 
 # One go-test benchmark per paper artifact plus the fleet speedup pair.
 bench-go:

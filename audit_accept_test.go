@@ -1,0 +1,137 @@
+package taichi_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	taichi "repro"
+	"repro/internal/audit"
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// auditSys runs the invariant auditor over a finished system's trace,
+// feeding it the breaker's own ledger and the tracer's drop count so
+// every cross-check the auditor knows is armed.
+func auditSys(sys *taichi.System) *audit.Report {
+	var bc *controlplane.BreakerCounters
+	if sys.Breaker != nil {
+		c := sys.Breaker.Counters()
+		bc = &c
+	}
+	return audit.Run(sys.Node.Tracer.Events(),
+		audit.Options{Breaker: bc, DroppedEvents: sys.Node.Tracer.Dropped()})
+}
+
+// auditScenarios are miniature versions of the pinned experiment
+// workloads — the CP mix behind Figures 2/5, the clean and faulted
+// VM-startup lifecycles behind Figures 2/17, and the chaos-recovery
+// sweep — each returning a finished system whose trace the auditor
+// must certify violation-free.
+var auditScenarios = []struct {
+	name  string
+	build func(seed int64) *taichi.System
+}{
+	{"cpmix", func(seed int64) *taichi.System {
+		sys := taichi.New(seed)
+		for m := 0; m < 6; m++ {
+			sys.SpawnCP(fmt.Sprintf("monitor%d", m),
+				controlplane.Monitor(controlplane.DefaultMonitor(), sys.Stream(fmt.Sprintf("mon%d", m))))
+		}
+		scfg := controlplane.DefaultSynthCP()
+		r := sys.Stream("churn")
+		for c := 0; c < 4; c++ {
+			sys.SpawnCP(fmt.Sprintf("churn%d", c), controlplane.SynthCP(scfg, r))
+		}
+		p := workload.NewPing(sys.Node, workload.DefaultPing())
+		p.Start(nil)
+		sys.Run(taichi.Milliseconds(80))
+		return sys
+	}},
+	{"vmstartup", func(seed int64) *taichi.System {
+		sys := taichi.New(seed)
+		cfg := cluster.DefaultConfig(2)
+		cfg.VMs = 8
+		cfg.VMLifetime = 0
+		cfg.Retry = cluster.DefaultRetryPolicy()
+		cluster.NewManager(sys, cfg).Start()
+		sys.Run(taichi.Seconds(1.2))
+		return sys
+	}},
+	{"vmstartup-faults", func(seed int64) *taichi.System {
+		sys := taichi.New(seed)
+		inj := faults.NewInjector(faults.DefaultSpec())
+		inj.Attach(sys)
+		sys.Sched.EnableRecovery(core.DefaultRecoveryPolicy())
+		cfg := cluster.DefaultConfig(2)
+		cfg.VMs = 8
+		cfg.VMLifetime = 0
+		cfg.Retry = cluster.DefaultRetryPolicy()
+		cfg.Requeue = cluster.DefaultRequeuePolicy()
+		cfg.Healthy = func() bool { return sys.Sched.DefenseMode() == core.ModeNormal }
+		cfg.WrapCP = inj.WrapCP
+		cluster.NewManager(sys, cfg).Start()
+		sys.Run(taichi.Seconds(1.2))
+		return sys
+	}},
+	{"chaos-recovery", func(seed int64) *taichi.System {
+		sys := taichi.New(seed)
+		inj := faults.NewInjector(faults.DefaultSpec())
+		inj.Attach(sys)
+		sys.Sched.EnableRecovery(core.DefaultRecoveryPolicy())
+		horizon := 200 * sim.Millisecond
+		sys.Engine().At(sim.Time(horizon/2), inj.Stop)
+		workload.NewBackground(sys.Node, workload.DefaultBackground(0.30)).Start()
+		p := workload.NewPing(sys.Node, workload.DefaultPing())
+		p.Start(nil)
+		scfg := controlplane.DefaultSynthCP()
+		for j := 0; j < 8; j++ {
+			sys.SpawnCP(fmt.Sprintf("cp%d", j),
+				inj.WrapCP(controlplane.SynthCP(scfg, sys.Stream(fmt.Sprintf("chaos.cp%d", j)))))
+		}
+		sys.Run(sim.Time(horizon))
+		return sys
+	}},
+}
+
+// TestAuditorCertifiesPinnedScenarios is the auditor acceptance gate:
+// across every pinned scenario shape, three seeds, and a two-node fleet,
+// the runtime invariant auditor must find zero violations, and the
+// rendered reports must be byte-identical across 1 and 8 fleet workers.
+func TestAuditorCertifiesPinnedScenarios(t *testing.T) {
+	for _, sc := range auditScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{11, 12, 13} {
+				render := func(workers int) string {
+					const nodes = 2
+					lines := make([]string, nodes)
+					fleet.ForEach(nodes, workers, func(i int) {
+						sys := sc.build(fleet.MemberSeed(seed, i))
+						rep := auditSys(sys)
+						for _, v := range rep.Violations {
+							t.Errorf("seed %d node %d: %+v", seed, i, v)
+						}
+						lines[i] = fmt.Sprintf("node%d: %s", i, rep.String())
+					})
+					return strings.Join(lines, "\n")
+				}
+				sequential := render(1)
+				if parallel := render(8); parallel != sequential {
+					t.Fatalf("seed %d: audit reports differ between 1 and 8 workers:\n--- 1\n%s\n--- 8\n%s",
+						seed, sequential, parallel)
+				}
+				if !strings.Contains(sequential, "violations=0") {
+					t.Fatalf("seed %d: report does not certify zero violations:\n%s", seed, sequential)
+				}
+			}
+		})
+	}
+}

@@ -111,6 +111,9 @@ func renderResult(r result) {
 	if line := retryLine(r.Values); line != "" {
 		fmt.Printf("> %s\n\n", line)
 	}
+	if line := degradedLine(r.Values); line != "" {
+		fmt.Printf("> %s\n\n", line)
+	}
 	for _, n := range r.Notes {
 		fmt.Printf("> %s\n\n", n)
 	}
@@ -251,4 +254,48 @@ func retryLine(values map[string]float64) string {
 	}
 	return fmt.Sprintf("retry/failover: %g of %g issued requests needed at least one retry; %g dead-lettered after exhausting the policy",
 		retried, issued, dead)
+}
+
+// degradedLine summarizes residual damage when the result carries
+// degraded_<mode>_<level> markers — the chaos sweeps tag every node-run
+// that ends the horizon below normal defense mode. Chaos-shaped results
+// without any marker get an explicit all-clear, so a clean sweep is a
+// statement rather than an omission. Other results return "".
+func degradedLine(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values { //taichi:allow maporder — keys are sorted before iteration below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := map[string]int{}
+	var modes []string
+	chaosShaped := false
+	for _, k := range keys {
+		if strings.HasPrefix(k, "detected_") || strings.HasPrefix(k, "rec_fq_dp_") {
+			chaosShaped = true
+		}
+		if !strings.HasPrefix(k, "degraded_") {
+			continue
+		}
+		mode, _, ok := strings.Cut(strings.TrimPrefix(k, "degraded_"), "_")
+		if !ok || values[k] == 0 {
+			continue
+		}
+		if counts[mode] == 0 {
+			modes = append(modes, mode)
+		}
+		counts[mode] += int(values[k])
+	}
+	if len(modes) > 0 {
+		parts := make([]string, len(modes))
+		for i, m := range modes { //taichi:allow maporder — modes holds first-seen order over sorted keys
+			parts[i] = fmt.Sprintf("%s×%d", m, counts[m])
+		}
+		return fmt.Sprintf("degraded-at-exit: %s — node-runs still below normal mode at the horizon",
+			strings.Join(parts, ", "))
+	}
+	if chaosShaped {
+		return "degraded-at-exit: none — every node-run ended the horizon in normal mode"
+	}
+	return ""
 }

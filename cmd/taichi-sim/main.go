@@ -11,6 +11,8 @@
 //	taichi-sim -faults default            # chaos run, DefaultSpec faults
 //	taichi-sim -faults probe-miss=0.3,ipi-drop=0.1,offline-mtbf=20ms
 //	taichi-sim -workload vmstartup -retry -cp 4 -faults default
+//	taichi-sim -faults default -recover           # self-healing ladder armed
+//	taichi-sim -faults default -recover -audit    # + invariant audit after the run
 //	taichi-sim -workload vmstartup -retry -cp 4 -nodes 8 -failover \
 //	           -faults exit-stall=0.2,cp-crash=0.05,nack=0.2,coord-timeout=0.1
 //
@@ -27,6 +29,17 @@
 // dead-lettering, and -failover (fleet mode) re-dispatches requests
 // stranded on unhealthy nodes — static-fallback defense mode or an open
 // CP→DP breaker — to the healthy members.
+//
+// -recover arms the self-healing layer: the scheduler's de-escalation
+// ladder (static → sw-probe → normal under the default
+// core.RecoveryPolicy) and, with -retry -workload vmstartup, the bounded
+// dead-letter requeue (cluster.DefaultRequeuePolicy, health-gated on the
+// node's defense mode and breaker). In fleet failover mode a member that
+// degraded and climbed back is reported as rejoined rather than failed.
+//
+// -audit replays every node's trace through the runtime invariant
+// auditor (internal/audit) after the run and exits non-zero on any
+// violation.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/controlplane"
@@ -93,7 +107,7 @@ func newHost(mode string, seed int64) (node *platform.Node, tc *core.TaiChi, h h
 
 // build assembles the scenario for one seed; it is run once in
 // single-node mode and once per member in fleet mode.
-func build(mode, wl string, cp int, util float64, spec faults.Spec, retry bool, seed int64, horizon sim.Duration) (*scenario, error) {
+func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov bool, seed int64, horizon sim.Duration) (*scenario, error) {
 	sc := &scenario{}
 	var h host
 	var err error
@@ -113,6 +127,12 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, retry bool, 
 		sc.inj = faults.NewInjector(spec)
 		sc.inj.Attach(sc.tc)
 		wrapCP = sc.inj.WrapCP
+	}
+	if recov {
+		if sc.tc == nil {
+			return nil, fmt.Errorf("-recover requires a Tai Chi scheduler mode (taichi, type1, naive), not %q", mode)
+		}
+		sc.tc.Sched.EnableRecovery(core.DefaultRecoveryPolicy())
 	}
 
 	// Background DP load.
@@ -219,6 +239,14 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, retry bool, 
 		if retry {
 			ccfg.Retry = cluster.DefaultRetryPolicy()
 		}
+		if retry && recov {
+			// The dead-letter requeue only makes sense with the retry
+			// pipeline; gate resurrections on the node's live health so a
+			// statically-degraded or breaker-open node does not re-ingest
+			// its own dead letters.
+			ccfg.Requeue = cluster.DefaultRequeuePolicy()
+			ccfg.Healthy = func() bool { return healthyNode(sc) }
+		}
 		if sc.inj != nil {
 			ccfg.WrapCP = sc.inj.WrapCP
 		}
@@ -274,6 +302,30 @@ func healthyNode(sc *scenario) bool {
 		return false
 	}
 	return true
+}
+
+// rejoinedNode reports a member that degraded mid-run and climbed all
+// the way back to health by the horizon — fleet.RunFailover keeps such
+// nodes in the dispatch ring and tallies them as failover.nodes_rejoined.
+func rejoinedNode(sc *scenario) bool {
+	if sc.tc == nil {
+		return false
+	}
+	return sc.tc.Sched.RecoveryStats().Rejoined && healthyNode(sc)
+}
+
+// auditNode replays the node's trace through the runtime invariant
+// auditor, including the breaker counter snapshot when one is installed.
+func auditNode(sc *scenario) *audit.Report {
+	var bc *controlplane.BreakerCounters
+	if sc.tc != nil && sc.tc.Breaker != nil {
+		c := sc.tc.Breaker.Counters()
+		bc = &c
+	}
+	return audit.Run(sc.node.Tracer.Events(), audit.Options{
+		Breaker:       bc,
+		DroppedEvents: sc.node.Tracer.Dropped(),
+	})
 }
 
 // redispatchVMs replays count stranded VM creations on a fresh,
@@ -332,6 +384,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "fleet worker-pool size (0 = GOMAXPROCS; output is identical for any value)")
 	faultsFlag := flag.String("faults", "off", "fault-injection spec: off | default | key=value,... (see internal/faults.ParseSpec)")
 	retry := flag.Bool("retry", false, "enable per-request deadlines, retries and dead-lettering for -workload vmstartup")
+	recov := flag.Bool("recover", false, "arm the self-healing layer: scheduler de-escalation ladder, and (with -retry -workload vmstartup) the health-gated dead-letter requeue")
+	auditFlag := flag.Bool("audit", false, "replay every node's trace through the runtime invariant auditor after the run; exit 1 on any violation")
 	failover := flag.Bool("failover", false, "fleet mode: re-dispatch requests stranded on unhealthy nodes to healthy ones (-workload vmstartup, -nodes > 1)")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, anything else = JSON)")
 	simprof := flag.Bool("simprof", false, "engine self-profiling: per-event-class dispatch counts, heap high-water mark, wall-clock attribution (single-node only)")
@@ -354,11 +408,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-simprof profiles one engine; use it with -nodes 1")
 			os.Exit(2)
 		}
-		runFleet(*mode, *wl, *cp, *util, spec, *retry, *failover, *seed, horizon, *nodes, *parallel, *metricsOut)
+		runFleet(*mode, *wl, *cp, *util, spec, *retry, *recov, *auditFlag, *failover, *seed, horizon, *nodes, *parallel, *metricsOut)
 		return
 	}
 
-	sc, err := build(*mode, *wl, *cp, *util, spec, *retry, *seed, horizon)
+	sc, err := build(*mode, *wl, *cp, *util, spec, *retry, *recov, *seed, horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -412,6 +466,12 @@ func main() {
 			fmt.Println(sc.tc.Breaker.Describe())
 		}
 	}
+	if *recov && sc.tc != nil {
+		rs := sc.tc.Sched.RecoveryStats()
+		fmt.Printf("recovery: recoveries=%d reescalations=%d generation=%d rejoined=%v\n",
+			sc.tc.Sched.DefenseRecoveries.Value(), sc.tc.Sched.Reescalations.Value(),
+			rs.Generation, rs.Rejoined)
+	}
 
 	if prof != nil {
 		// Deterministic half first (dispatch counts, heap depth), then the
@@ -426,6 +486,13 @@ func main() {
 
 	if *metricsOut != "" {
 		writeMetrics(*metricsOut, snapshotScenario(sc))
+	}
+	if *auditFlag {
+		rep := auditNode(sc)
+		fmt.Print(rep.String())
+		if !rep.Ok() {
+			os.Exit(1)
+		}
 	}
 }
 
@@ -499,15 +566,21 @@ func writeMetrics(path string, snap *obs.Snapshot) {
 // request count, and the stranded work of unhealthy nodes is re-run on
 // the healthy ones (fleet.RunFailover) with its startup latency merged
 // into the same SLO-facing histogram.
-func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, failover bool, seed int64, horizon sim.Duration, n, workers int, metricsOut string) {
+func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov, auditFlag, failover bool, seed int64, horizon sim.Duration, n, workers int, metricsOut string) {
 	start := time.Now() //taichi:allow walltime — fleet throughput report (nodes/s); results themselves are seed-deterministic
+	// Per-member audit reports, filled by index on the worker pool and
+	// printed in member order afterwards.
+	audits := make([]*audit.Report, n)
 	member := func(idx int, memberSeed int64, a *fleet.Aggregates) *scenario {
-		sc, err := build(mode, wl, cp, util, spec, retry, memberSeed, horizon)
+		sc, err := build(mode, wl, cp, util, spec, retry, recov, memberSeed, horizon)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		sc.node.Run(sc.node.Now().Add(horizon))
+		if auditFlag {
+			audits[idx] = auditNode(sc)
+		}
 		sc.collect(a)
 		if sc.inj != nil {
 			a.Add("faults.injected", float64(sc.inj.Counts.Total()))
@@ -531,7 +604,11 @@ func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, fa
 		agg = fleet.RunFailover(n, seed, workers,
 			func(idx int, memberSeed int64, a *fleet.Aggregates) fleet.NodeReport {
 				sc := member(idx, memberSeed, a)
-				return fleet.NodeReport{Healthy: healthyNode(sc), Stranded: stranded(sc.mgr)}
+				return fleet.NodeReport{
+					Healthy:  healthyNode(sc),
+					Stranded: stranded(sc.mgr),
+					Rejoined: rejoinedNode(sc),
+				}
 			},
 			func(idx int, redisSeed int64, count int, a *fleet.Aggregates) {
 				redispatchVMs(mode, retry, redisSeed, count, a)
@@ -551,5 +628,18 @@ func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, fa
 		100*agg.Scalar("dp.net_util")/members, 100*agg.Scalar("dp.stor_util")/members)
 	if metricsOut != "" {
 		writeMetrics(metricsOut, snapshotFleet(agg))
+	}
+	if auditFlag {
+		violations := 0
+		for i, rep := range audits {
+			violations += len(rep.Violations)
+			if !rep.Ok() {
+				fmt.Printf("node%d %s", i, rep.String())
+			}
+		}
+		fmt.Printf("audit: nodes=%d violations=%d\n", n, violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker pool size for multi-node runs (output is identical for any value)")
 	retry := flag.Bool("retry", false, "enable the vmstartup retry/dead-letter policy")
 	withFaults := flag.Bool("faults", false, "attach the default fault-injection spec (taichi mode only)")
+	withRecover := flag.Bool("recover", false, "arm the self-healing recovery ladder (taichi mode only); recovery rungs appear as defense_recover/node_rejoin trace events")
 	flag.Parse()
 
 	if *mode != "static" && *mode != "taichi" {
@@ -65,6 +66,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-faults requires -mode taichi")
 		os.Exit(2)
 	}
+	if *withRecover && *mode != "taichi" {
+		fmt.Fprintln(os.Stderr, "-recover requires -mode taichi")
+		os.Exit(2)
+	}
 	if *nodes < 1 {
 		fmt.Fprintln(os.Stderr, "-nodes must be >= 1")
 		os.Exit(2)
@@ -73,7 +78,7 @@ func main() {
 	horizon := sim.Duration(durFlag.Nanoseconds())
 	traces := make([]obs.NodeTrace, *nodes)
 	fleet.ForEach(*nodes, *parallel, func(i int) {
-		node := runNode(*mode, *workload, fleet.MemberSeed(*seed, i), horizon, *retry, *withFaults)
+		node := runNode(*mode, *workload, fleet.MemberSeed(*seed, i), horizon, *retry, *withFaults, *withRecover)
 		traces[i] = obs.NodeTrace{
 			Label:  fmt.Sprintf("%s-node%d", *mode, i),
 			Events: append([]trace.Event{}, node.Tracer.Events()...),
@@ -106,7 +111,7 @@ func main() {
 // runNode builds one node, applies the workload, and runs it to the
 // horizon. Everything inside is a pure function of (mode, workload,
 // seed, horizon, flags) — the multi-node export depends on it.
-func runNode(mode, workload string, seed int64, horizon sim.Duration, retry, withFaults bool) *platform.Node {
+func runNode(mode, workload string, seed int64, horizon sim.Duration, retry, withFaults, withRecover bool) *platform.Node {
 	var node *platform.Node
 	var spawn func(string, kernel.Program) *kernel.Thread
 	var host cluster.Host
@@ -119,6 +124,9 @@ func runNode(mode, workload string, seed int64, horizon sim.Duration, retry, wit
 		if withFaults {
 			inj := faults.NewInjector(faults.DefaultSpec())
 			inj.Attach(tc)
+		}
+		if withRecover {
+			tc.Sched.EnableRecovery(core.DefaultRecoveryPolicy())
 		}
 		node, spawn, host = tc.Node, tc.SpawnCP, tc
 	}

@@ -1,0 +1,307 @@
+// Package audit is the runtime invariant auditor: it replays a node's
+// flat trace stream after a run and checks the conservation invariants
+// the scheduler, the defense/recovery ladders, and the request lifecycle
+// promise — no vCPU double-lend, every lend paired with a reclaim,
+// request conservation across retries and resurrections, mode
+// transitions forming a legal lattice path, and circuit-breaker state
+// machine legality. Violations come back structured so tests,
+// `taichi-sim -audit`, and the chaos experiment can fail loudly on them.
+//
+// The auditor is a pure function of the recorded events (plus an
+// optional breaker-counter snapshot): it draws no randomness, schedules
+// nothing, and can therefore run on any node — or any worker's replica
+// of a node — without perturbing determinism.
+//
+// Audits assume an untruncated trace (platform.Options.TraceLimit 0, the
+// default): a tracer that dropped events cannot be checked for pairing,
+// and Run reports that as a violation rather than guessing.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/controlplane"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Violation is one invariant breach, anchored to the event that exposed
+// it.
+type Violation struct {
+	// Code identifies the invariant: "double-lend", "vcpu-two-cores",
+	// "unmatched-vm-exit", "unmatched-reclaim", "request-order",
+	// "request-conservation", "mode-lattice", "breaker-legality",
+	// "truncated-trace".
+	Code string
+	// At is the simulated instant of the offending event (0 for
+	// end-of-run conservation checks).
+	At sim.Time
+	// CPU / Arg echo the offending event's coordinates (-1 / 0 for
+	// end-of-run checks).
+	CPU int
+	Arg int64
+	// Msg is the human-readable statement of the breach.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] t=%v cpu=%d arg=%d: %s", v.Code, v.At, v.CPU, v.Arg, v.Msg)
+}
+
+// Report is the outcome of one audit pass.
+type Report struct {
+	// Events is how many trace events the auditor consumed.
+	Events int
+	// Violations lists every breach in event order (conservation checks
+	// last). Empty means the run upheld every invariant.
+	Violations []Violation
+}
+
+// Ok reports a clean audit.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders the report deterministically: one summary line, then
+// one line per violation.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: events=%d violations=%d\n", r.Events, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v.String())
+	}
+	return b.String()
+}
+
+// Options carries audit inputs that do not live in the trace stream.
+type Options struct {
+	// Breaker, when non-nil, is the node's circuit-breaker counter
+	// snapshot; the breaker state machine is then checked for legality.
+	Breaker *controlplane.BreakerCounters
+	// DroppedEvents is the tracer's dropped-event count; non-zero makes
+	// pairing unverifiable and is itself reported as a violation.
+	DroppedEvents uint64
+}
+
+// reqPhase is the auditor's request state machine mirror.
+type reqPhase uint8
+
+const (
+	reqUnknown reqPhase = iota
+	reqPending
+	reqProvisioning
+	reqRetrying
+	reqCompleted
+	reqDead
+	reqResurrected
+)
+
+func (p reqPhase) String() string {
+	switch p {
+	case reqPending:
+		return "pending"
+	case reqProvisioning:
+		return "provisioning"
+	case reqRetrying:
+		return "retrying"
+	case reqCompleted:
+		return "completed"
+	case reqDead:
+		return "dead-lettered"
+	case reqResurrected:
+		return "resurrected"
+	}
+	return "unknown"
+}
+
+// Run audits one node's event stream. Events must be in emission order
+// (exactly what trace.Tracer.Events returns).
+func Run(events []trace.Event, opts Options) *Report {
+	rep := &Report{Events: len(events)}
+	add := func(e trace.Event, code, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Code: code, At: e.At, CPU: e.CPU, Arg: e.Arg,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	addEnd := func(code, format string, args ...any) {
+		rep.Violations = append(rep.Violations, Violation{
+			Code: code, CPU: -1, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if opts.DroppedEvents > 0 {
+		addEnd("truncated-trace", "tracer dropped %d events; pairing invariants unverifiable", opts.DroppedEvents)
+		return rep
+	}
+
+	// Residency: which vCPU occupies which core, from vm_entry/vm_exit.
+	coreOccupant := map[int]int64{} // core id → vCPU logical id
+	vcpuCore := map[int64]int{}     // vCPU logical id → core id
+	// Lend/reclaim: idle-detected (yield) open per core; a dp-resume
+	// (preempt) without one would mean the DP resumed a core it never
+	// yielded.
+	yieldOpen := map[int]bool{}
+	// Request lifecycle mirror + event tallies for conservation.
+	reqState := map[int64]reqPhase{}
+	var reqOrder []int64
+	var issuedEv, completedEv, deadEv, resurrectedEv int
+	// Mode lattice: the scheduler-wide degradation position.
+	mode := "normal"
+
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindVMEntry:
+			if prev, busy := coreOccupant[e.CPU]; busy {
+				add(e, "double-lend", "vm_entry of vCPU %d on core %d already occupied by vCPU %d", e.Arg, e.CPU, prev)
+			}
+			if prevCore, hosted := vcpuCore[e.Arg]; hosted {
+				add(e, "vcpu-two-cores", "vm_entry of vCPU %d on core %d while still resident on core %d", e.Arg, e.CPU, prevCore)
+			}
+			coreOccupant[e.CPU] = e.Arg
+			vcpuCore[e.Arg] = e.CPU
+		case trace.KindVMExit:
+			if occ, busy := coreOccupant[e.CPU]; !busy || occ != e.Arg {
+				have := "no occupant"
+				if busy {
+					have = fmt.Sprintf("occupant vCPU %d", occ)
+				}
+				add(e, "unmatched-vm-exit", "vm_exit of vCPU %d on core %d with %s", e.Arg, e.CPU, have)
+			} else {
+				delete(coreOccupant, e.CPU)
+				delete(vcpuCore, e.Arg)
+			}
+		case trace.KindYield:
+			// Idle detection may legally repeat without an intervening
+			// resume (re-armed idle watch on a core that was never lent).
+			yieldOpen[e.CPU] = true
+		case trace.KindPreempt:
+			if !yieldOpen[e.CPU] {
+				add(e, "unmatched-reclaim", "dp-resume on core %d without a preceding idle-detect/yield", e.CPU)
+			}
+			yieldOpen[e.CPU] = false
+
+		case trace.KindRequestIssued:
+			issuedEv++
+			if st, seen := reqState[e.Arg]; seen {
+				add(e, "request-order", "request %d re-issued while %s", e.Arg, st)
+			} else {
+				reqOrder = append(reqOrder, e.Arg)
+			}
+			reqState[e.Arg] = reqPending
+		case trace.KindRequestAttempt:
+			switch reqState[e.Arg] {
+			case reqPending, reqRetrying, reqResurrected:
+				reqState[e.Arg] = reqProvisioning
+			default:
+				add(e, "request-order", "attempt on request %d in state %s", e.Arg, reqState[e.Arg])
+			}
+		case trace.KindRequestRetry:
+			if reqState[e.Arg] != reqProvisioning {
+				add(e, "request-order", "retry on request %d in state %s", e.Arg, reqState[e.Arg])
+			} else {
+				reqState[e.Arg] = reqRetrying
+			}
+		case trace.KindRequestCompleted:
+			completedEv++
+			if reqState[e.Arg] != reqProvisioning {
+				add(e, "request-order", "completion of request %d in state %s", e.Arg, reqState[e.Arg])
+			}
+			reqState[e.Arg] = reqCompleted
+		case trace.KindRequestDeadLetter:
+			deadEv++
+			if reqState[e.Arg] != reqProvisioning {
+				add(e, "request-order", "dead-letter of request %d in state %s", e.Arg, reqState[e.Arg])
+			}
+			reqState[e.Arg] = reqDead
+		case trace.KindRequestResurrected:
+			resurrectedEv++
+			if reqState[e.Arg] != reqDead {
+				add(e, "request-order", "resurrection of request %d in state %s", e.Arg, reqState[e.Arg])
+			}
+			reqState[e.Arg] = reqResurrected
+
+		case trace.KindReclaimEscalate:
+			// Scheduler-wide rungs carry CPU -1; per-slot watchdog rungs
+			// ("forced-ipi", "teardown") are not lattice transitions.
+			if e.CPU != -1 {
+				break
+			}
+			switch e.Note {
+			case "sw-probe":
+				if mode != "normal" {
+					add(e, "mode-lattice", "probe fallback from mode %s (legal only from normal)", mode)
+				}
+				mode = "sw-probe"
+			case "static":
+				if mode == "static" {
+					add(e, "mode-lattice", "static fallback while already static")
+				}
+				mode = "static"
+			}
+		case trace.KindDefenseRecover:
+			switch e.Note {
+			case "sw-probe":
+				if mode != "static" {
+					add(e, "mode-lattice", "recovery to sw-probe from mode %s (legal only from static)", mode)
+				}
+				mode = "sw-probe"
+			case "normal":
+				if mode != "sw-probe" {
+					add(e, "mode-lattice", "recovery to normal from mode %s (legal only from sw-probe)", mode)
+				}
+				mode = "normal"
+			default:
+				add(e, "mode-lattice", "defense_recover with unknown rung %q", e.Note)
+			}
+		case trace.KindNodeRejoin:
+			if mode != "normal" {
+				add(e, "mode-lattice", "node_rejoin while mode is %s (rejoin implies normal)", mode)
+			}
+		}
+	}
+
+	// Residency still open at the horizon is legal truncation (the run
+	// simply ended mid-lend); only *pairing* breaches count. The same
+	// goes for requests still in flight — but they must be accounted:
+	// issued = completed + (dead-lettered − resurrected) + pending.
+	pending := 0
+	for _, id := range reqOrder {
+		switch reqState[id] {
+		case reqCompleted, reqDead:
+		default:
+			pending++
+		}
+	}
+	if issuedEv != completedEv+(deadEv-resurrectedEv)+pending {
+		addEnd("request-conservation",
+			"issued=%d != completed=%d + (dead=%d - resurrected=%d) + pending=%d",
+			issuedEv, completedEv, deadEv, resurrectedEv, pending)
+	}
+
+	if bc := opts.Breaker; bc != nil {
+		if bc.Closes > bc.HalfOpens {
+			addEnd("breaker-legality", "closes=%d > half-opens=%d (only the half-open probe may close)", bc.Closes, bc.HalfOpens)
+		}
+		if bc.HalfOpens > bc.Trips {
+			addEnd("breaker-legality", "half-opens=%d > trips=%d (every half-open follows a trip)", bc.HalfOpens, bc.Trips)
+		}
+		if bc.Rejects > 0 && bc.Trips == 0 {
+			addEnd("breaker-legality", "rejects=%d with trips=0 (rejection requires an open circuit)", bc.Rejects)
+		}
+		switch bc.State {
+		case controlplane.BreakerOpen:
+			if bc.Trips == 0 {
+				addEnd("breaker-legality", "state=open with trips=0")
+			}
+		case controlplane.BreakerHalfOpen:
+			if bc.HalfOpens == 0 {
+				addEnd("breaker-legality", "state=half-open with half-opens=0")
+			}
+		case controlplane.BreakerClosed:
+			if bc.Trips > 0 && bc.Closes == 0 {
+				addEnd("breaker-legality", "state=closed after %d trips with closes=0", bc.Trips)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,241 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controlplane"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func ev(at int64, kind trace.Kind, cpu int, arg int64, note string) trace.Event {
+	return trace.Event{At: sim.Time(at), Kind: kind, CPU: cpu, Arg: arg, Note: note}
+}
+
+func codes(r *Report) []string {
+	var out []string
+	for _, v := range r.Violations {
+		out = append(out, v.Code)
+	}
+	return out
+}
+
+// TestDoubleLendFixture is the deliberately broken stream the acceptance
+// criteria call for: two vm_entries on the same core without an exit
+// between them must produce exactly the expected violation.
+func TestDoubleLendFixture(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindVMEntry, 3, 100, ""),
+		ev(200, trace.KindVMEntry, 3, 101, ""), // core 3 already lent to vCPU 100
+		ev(300, trace.KindVMExit, 3, 101, "timer"),
+	}
+	rep := Run(events, Options{})
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v; want exactly the double-lend", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.Code != "double-lend" || v.CPU != 3 || v.Arg != 101 || v.At != sim.Time(200) {
+		t.Fatalf("violation = %+v; want double-lend at t=200 cpu=3 arg=101", v)
+	}
+	if !strings.Contains(v.Msg, "vCPU 100") {
+		t.Fatalf("violation message %q should name the prior occupant", v.Msg)
+	}
+	if rep.Ok() {
+		t.Fatal("Ok() must be false with a violation recorded")
+	}
+}
+
+// TestCleanResidency: paired entries/exits — including a mid-entry
+// revocation ("revoked") and a lend left open at the horizon — audit
+// clean.
+func TestCleanResidency(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindYield, 3, 0, "idle-detected"),
+		ev(110, trace.KindVMEntry, 3, 100, ""),
+		ev(200, trace.KindVMExit, 3, 100, "revoked"),
+		ev(210, trace.KindVMEntry, 3, 101, ""),
+		ev(300, trace.KindVMExit, 3, 101, "probe"),
+		ev(310, trace.KindPreempt, 3, 0, "dp-resume"),
+		ev(400, trace.KindYield, 4, 0, "idle-detected"),
+		ev(410, trace.KindVMEntry, 4, 100, ""), // still open at horizon: legal
+	}
+	rep := Run(events, Options{})
+	if !rep.Ok() {
+		t.Fatalf("clean stream reported violations: %v", rep.Violations)
+	}
+	if rep.Events != len(events) {
+		t.Fatalf("Events = %d, want %d", rep.Events, len(events))
+	}
+}
+
+// TestVCPUOnTwoCores: the same vCPU resident on two cores at once.
+func TestVCPUOnTwoCores(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindVMEntry, 3, 100, ""),
+		ev(200, trace.KindVMEntry, 4, 100, ""),
+	}
+	rep := Run(events, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "vcpu-two-cores" {
+		t.Fatalf("codes = %v; want [vcpu-two-cores]", got)
+	}
+}
+
+// TestUnmatchedVMExit: an exit with no (or the wrong) occupant.
+func TestUnmatchedVMExit(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindVMExit, 3, 100, "timer"),
+	}
+	rep := Run(events, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "unmatched-vm-exit" {
+		t.Fatalf("codes = %v; want [unmatched-vm-exit]", got)
+	}
+}
+
+// TestUnmatchedReclaim: a dp-resume with no idle-detect since the last
+// resume; repeated idle-detects without a resume stay legal.
+func TestUnmatchedReclaim(t *testing.T) {
+	clean := []trace.Event{
+		ev(100, trace.KindYield, 3, 0, "idle-detected"),
+		ev(150, trace.KindYield, 3, 0, "idle-detected"), // legal repeat
+		ev(200, trace.KindPreempt, 3, 0, "dp-resume"),
+	}
+	if rep := Run(clean, Options{}); !rep.Ok() {
+		t.Fatalf("legal yield/resume stream flagged: %v", rep.Violations)
+	}
+	bad := append(clean,
+		ev(300, trace.KindPreempt, 3, 0, "dp-resume")) // no new idle-detect
+	rep := Run(bad, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "unmatched-reclaim" {
+		t.Fatalf("codes = %v; want [unmatched-reclaim]", got)
+	}
+}
+
+// TestRequestLifecycleLegality: the full retry → dead-letter →
+// resurrection → completion path audits clean; illegal orderings are
+// flagged.
+func TestRequestLifecycleLegality(t *testing.T) {
+	clean := []trace.Event{
+		ev(100, trace.KindRequestIssued, -1, 1, ""),
+		ev(110, trace.KindRequestAttempt, -1, 1, "attempt1"),
+		ev(200, trace.KindRequestRetry, -1, 1, "timeout"),
+		ev(300, trace.KindRequestAttempt, -1, 1, "attempt2"),
+		ev(400, trace.KindRequestDeadLetter, -1, 1, "timeout"),
+		ev(500, trace.KindRequestResurrected, -1, 1, "life2"),
+		ev(510, trace.KindRequestAttempt, -1, 1, "attempt3"),
+		ev(600, trace.KindRequestCompleted, -1, 1, ""),
+	}
+	if rep := Run(clean, Options{}); !rep.Ok() {
+		t.Fatalf("legal lifecycle flagged: %v", rep.Violations)
+	}
+
+	// Resurrecting a request that never dead-lettered is illegal.
+	bad := []trace.Event{
+		ev(100, trace.KindRequestIssued, -1, 1, ""),
+		ev(110, trace.KindRequestAttempt, -1, 1, "attempt1"),
+		ev(200, trace.KindRequestResurrected, -1, 1, "life2"),
+	}
+	rep := Run(bad, Options{})
+	found := false
+	for _, c := range codes(rep) {
+		if c == "request-order" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("codes = %v; want a request-order violation", codes(rep))
+	}
+}
+
+// TestRequestConservation: a completion event for a request that was
+// never issued breaks the conservation identity.
+func TestRequestConservation(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindRequestIssued, -1, 1, ""),
+		ev(110, trace.KindRequestAttempt, -1, 1, "attempt1"),
+		ev(200, trace.KindRequestCompleted, -1, 1, ""),
+		ev(300, trace.KindRequestCompleted, -1, 2, ""), // never issued
+	}
+	rep := Run(events, Options{})
+	var haveConservation bool
+	for _, c := range codes(rep) {
+		if c == "request-conservation" {
+			haveConservation = true
+		}
+	}
+	if !haveConservation {
+		t.Fatalf("codes = %v; want request-conservation", codes(rep))
+	}
+}
+
+// TestModeLattice: the legal down-and-up walk audits clean; skipping a
+// rung is flagged.
+func TestModeLattice(t *testing.T) {
+	clean := []trace.Event{
+		ev(100, trace.KindReclaimEscalate, 3, 1, "forced-ipi"), // per-slot rung: not a lattice move
+		ev(200, trace.KindReclaimEscalate, -1, 10, "sw-probe"),
+		ev(300, trace.KindReclaimEscalate, -1, 8, "static"),
+		ev(400, trace.KindDefenseRecover, -1, 1, "sw-probe"),
+		ev(500, trace.KindDefenseRecover, -1, 1, "normal"),
+		ev(500, trace.KindNodeRejoin, -1, 1, ""),
+	}
+	if rep := Run(clean, Options{}); !rep.Ok() {
+		t.Fatalf("legal lattice walk flagged: %v", rep.Violations)
+	}
+
+	// Recovery straight to normal from static skips the probation rung.
+	bad := []trace.Event{
+		ev(100, trace.KindReclaimEscalate, -1, 8, "static"),
+		ev(200, trace.KindDefenseRecover, -1, 1, "normal"),
+	}
+	rep := Run(bad, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "mode-lattice" {
+		t.Fatalf("codes = %v; want [mode-lattice]", got)
+	}
+}
+
+// TestBreakerLegality: counter relationships the state machine
+// guarantees.
+func TestBreakerLegality(t *testing.T) {
+	ok := &controlplane.BreakerCounters{
+		State: controlplane.BreakerClosed,
+		Trips: 2, Rejects: 5, Timeouts: 3, Nacks: 4, HalfOpens: 2, Closes: 1,
+	}
+	if rep := Run(nil, Options{Breaker: ok}); !rep.Ok() {
+		t.Fatalf("legal breaker counters flagged: %v", rep.Violations)
+	}
+
+	bad := &controlplane.BreakerCounters{
+		State: controlplane.BreakerClosed,
+		Trips: 0, Rejects: 7, // rejection without ever tripping
+	}
+	rep := Run(nil, Options{Breaker: bad})
+	if got := codes(rep); len(got) != 1 || got[0] != "breaker-legality" {
+		t.Fatalf("codes = %v; want [breaker-legality]", got)
+	}
+}
+
+// TestTruncatedTrace: dropped events make pairing unverifiable — that is
+// itself the finding, and no other checks run.
+func TestTruncatedTrace(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindVMEntry, 3, 100, ""),
+		ev(200, trace.KindVMEntry, 3, 101, ""),
+	}
+	rep := Run(events, Options{DroppedEvents: 9})
+	if got := codes(rep); len(got) != 1 || got[0] != "truncated-trace" {
+		t.Fatalf("codes = %v; want [truncated-trace] only", got)
+	}
+}
+
+// TestReportString pins the report rendering shape.
+func TestReportString(t *testing.T) {
+	rep := Run([]trace.Event{ev(100, trace.KindVMExit, 3, 100, "timer")}, Options{})
+	s := rep.String()
+	if !strings.HasPrefix(s, "audit: events=1 violations=1\n") {
+		t.Fatalf("report header wrong: %q", s)
+	}
+	if !strings.Contains(s, "[unmatched-vm-exit]") {
+		t.Fatalf("report body missing violation: %q", s)
+	}
+}

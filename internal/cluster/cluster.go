@@ -70,6 +70,14 @@ type Config struct {
 	// the zero value disables the machinery entirely (byte-identical to
 	// the pre-lifecycle manager).
 	Retry RetryPolicy
+	// Requeue governs bounded dead-letter resurrection; the zero value
+	// disables it (dead-lettered stays terminal).
+	Requeue RequeuePolicy
+	// Healthy, when non-nil, gates resurrection on target-node health —
+	// typically "scheduler not in static fallback and breaker not open".
+	// Nil means always healthy. Consulted only from requeue health
+	// checks, so it draws nothing and schedules nothing itself.
+	Healthy func() bool
 	// WrapCP, when non-nil, wraps every device-management program the
 	// manager spawns — the fault injector's WrapCP hook, so chaos runs
 	// can crash/hang provisioning jobs mid-flight.
@@ -116,6 +124,12 @@ type Manager struct {
 
 	reqs   []*Request
 	retryR *rand.Rand // "cluster.retry" stream; nil when retries disabled
+	// requeueR is the "cluster.requeue" stream; nil when requeue is
+	// disabled. pendingRequeues counts dead-lettered requests with a
+	// resurrection decision still in flight — Settled() is false until
+	// they drain.
+	requeueR        *rand.Rand
+	pendingRequeues int
 	// tracer records request-lifecycle events when the host exposes one
 	// (TracerHost); a nil tracer is a valid no-op sink, so emission is
 	// unconditional. Emitting never schedules events or draws randomness,
@@ -124,6 +138,7 @@ type Manager struct {
 
 	cIssued, cCompleted, cRetried *metrics.Counter
 	cDead, cTimeouts, cNacks      *metrics.Counter
+	cRequeued, cResurrected       *metrics.Counter
 
 	stopped bool
 }
@@ -131,6 +146,7 @@ type Manager struct {
 // NewManager builds the workload around a host.
 func NewManager(host Host, cfg Config) *Manager {
 	cfg.Retry = cfg.Retry.normalize()
+	cfg.Requeue = cfg.Requeue.normalize()
 	g := metrics.NewGroup("requests")
 	m := &Manager{
 		cfg:         cfg,
@@ -147,11 +163,20 @@ func NewManager(host Host, cfg Config) *Manager {
 		cTimeouts:   g.Counter("timeouts"),
 		cNacks:      g.Counter("nacks"),
 	}
+	// Requeue counters are appended after the original six so existing
+	// registration-order consumers keep their positions.
+	m.cRequeued = g.Counter("requeued")
+	m.cResurrected = g.Counter("resurrected")
 	if cfg.Retry.Enabled {
 		// The backoff-jitter stream exists only when retries can draw
 		// from it, keeping disabled-retry runs stream-for-stream
 		// identical to the pre-lifecycle manager.
 		m.retryR = host.Stream("cluster.retry")
+	}
+	if cfg.Requeue.Enabled {
+		// Same pattern: the requeue-jitter stream exists only when the
+		// dead-letter requeue can draw from it.
+		m.requeueR = host.Stream("cluster.requeue")
 	}
 	if th, ok := host.(TracerHost); ok {
 		m.tracer = th.Tracer()
@@ -201,12 +226,24 @@ func (m *Manager) scheduleNext() {
 func (m *Manager) createVM() {
 	m.Issued++
 	id := int(m.Issued)
-	req := &Request{ID: id, IssuedAt: m.host.Engine().Now(), state: ReqPending}
+	req := &Request{
+		ID:            id,
+		IssuedAt:      m.host.Engine().Now(),
+		state:         ReqPending,
+		attemptBudget: m.cfg.Retry.MaxAttempts,
+	}
 	m.reqs = append(m.reqs, req)
 	m.cIssued.Inc()
 	m.emit(trace.KindRequestIssued, id, "")
+	m.provisionRecords(req)
+	m.beginAttempt(req)
+}
 
-	// Provision inventory records (one ENIC, the rest VBlk per Table 4).
+// provisionRecords fills the request's inventory records (one ENIC, the
+// rest VBlk per Table 4). A resurrected request calls it again: the
+// dead-letter rollback aborted the old records (Gone, out of the
+// registry), so a fresh life starts from fresh inventory.
+func (m *Manager) provisionRecords(req *Request) {
 	req.records = make([]*device.Device, len(m.cfg.Devices))
 	for i, spec := range m.cfg.Devices {
 		kind := device.VBlk
@@ -217,9 +254,8 @@ func (m *Manager) createVM() {
 		for q := range bindings {
 			bindings[q] = device.QueueBinding{Flow: i*8 + q, Core: -1}
 		}
-		req.records[i] = m.Devices.Provision(id, kind, bindings)
+		req.records[i] = m.Devices.Provision(req.ID, kind, bindings)
 	}
-	m.beginAttempt(req)
 }
 
 // beginAttempt issues one provisioning attempt. The first attempt is
@@ -330,7 +366,7 @@ func (m *Manager) attemptFailed(req *Request, attempt int, reason string) {
 	case "nack":
 		m.cNacks.Inc()
 	}
-	if req.Attempts >= m.cfg.Retry.MaxAttempts {
+	if req.Attempts >= req.attemptBudget {
 		m.deadLetter(req, reason)
 		return
 	}
@@ -347,7 +383,9 @@ func (m *Manager) attemptFailed(req *Request, attempt int, reason string) {
 }
 
 // deadLetter is the failure terminal: record the reason and roll back
-// every device record the attempts left behind.
+// every device record the attempts left behind. With requeue enabled it
+// is terminal only provisionally — a bounded, health-gated resurrection
+// may still pull the request back.
 func (m *Manager) deadLetter(req *Request, reason string) {
 	req.state = ReqDeadLettered
 	req.Reason = reason
@@ -356,6 +394,59 @@ func (m *Manager) deadLetter(req *Request, reason string) {
 	for _, d := range req.records {
 		m.Devices.Abort(d)
 	}
+	m.maybeRequeue(req)
+}
+
+// --- dead-letter requeue ----------------------------------------------------
+
+// maybeRequeue arms one resurrection decision for a freshly dead-lettered
+// request, if the policy allows another life.
+func (m *Manager) maybeRequeue(req *Request) {
+	if !m.cfg.Requeue.Enabled || req.Resurrections >= m.cfg.Requeue.MaxResurrections {
+		return
+	}
+	m.pendingRequeues++
+	m.cRequeued.Inc()
+	m.scheduleRequeueCheck(req, 1)
+}
+
+// scheduleRequeueCheck waits out the (jittered) requeue dwell and then
+// consults node health: healthy → resurrect; unhealthy → re-poll up to
+// MaxHealthChecks times, after which the request stays dead-lettered.
+func (m *Manager) scheduleRequeueCheck(req *Request, check int) {
+	delay := sim.Jitter(m.requeueR, m.cfg.Requeue.RequeueDelay, m.cfg.Requeue.JitterFrac)
+	m.host.Engine().Schedule(delay, func() {
+		if req.state != ReqDeadLettered {
+			m.pendingRequeues--
+			return
+		}
+		if m.cfg.Healthy != nil && !m.cfg.Healthy() {
+			if check >= m.cfg.Requeue.MaxHealthChecks {
+				// The node never came back: abandon the resurrection.
+				m.pendingRequeues--
+				return
+			}
+			m.scheduleRequeueCheck(req, check+1)
+			return
+		}
+		m.pendingRequeues--
+		m.resurrect(req)
+	})
+}
+
+// resurrect pulls a dead-lettered request back into the pipeline: fresh
+// inventory records (the rollback removed the old ones), a fresh attempt
+// budget, and a new provisioning attempt. Attempts stays monotonic so
+// per-attempt RNG stream names ("vm%d.retry%d") never repeat across
+// lives.
+func (m *Manager) resurrect(req *Request) {
+	req.Resurrections++
+	req.attemptBudget = req.Attempts + m.cfg.Retry.MaxAttempts
+	req.Reason = ""
+	m.cResurrected.Inc()
+	m.emit(trace.KindRequestResurrected, req.ID, fmt.Sprintf("life%d", req.Resurrections+1))
+	m.provisionRecords(req)
+	m.beginAttempt(req)
 }
 
 // destroyVM runs the teardown workflow: CP deinitializes every device and
@@ -398,8 +489,18 @@ func (m *Manager) Terminal() bool {
 	return true
 }
 
+// Settled is the requeue-aware drain condition: every request is
+// terminal *and* no resurrection decision is still in flight. Without
+// requeue it degenerates to Terminal(); with it, a dead-lettered request
+// awaiting its health check keeps the run unsettled so harnesses cannot
+// stop before the resurrection fires.
+func (m *Manager) Settled() bool { return m.pendingRequeues == 0 && m.Terminal() }
+
 // DeadLettered returns the dead-lettered request count.
 func (m *Manager) DeadLettered() uint64 { return m.cDead.Value() }
 
 // Retried returns how many retry attempts were scheduled.
 func (m *Manager) Retried() uint64 { return m.cRetried.Value() }
+
+// Resurrected returns how many dead-lettered requests were pulled back.
+func (m *Manager) Resurrected() uint64 { return m.cResurrected.Value() }

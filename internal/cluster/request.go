@@ -63,10 +63,18 @@ type Request struct {
 	CompletedAt sim.Time
 	// Reason records why the request dead-lettered ("" otherwise).
 	Reason string
+	// Resurrections counts how many times the bounded requeue machinery
+	// pulled this request back out of the dead-letter terminal.
+	Resurrections int
 
-	state    RequestState
-	records  []*device.Device
-	deadline *sim.Event
+	state   RequestState
+	records []*device.Device
+	// attemptBudget is the attempt count at which the request
+	// dead-letters; it starts at RetryPolicy.MaxAttempts and grows by the
+	// same amount per resurrection (Attempts itself stays monotonic so
+	// per-attempt RNG stream names never repeat).
+	attemptBudget int
+	deadline      *sim.Event
 }
 
 // State returns the request's lifecycle state.
@@ -146,4 +154,61 @@ func (p RetryPolicy) backoff(n int) sim.Duration {
 		d *= p.BackoffFactor
 	}
 	return sim.Duration(d)
+}
+
+// RequeuePolicy governs bounded dead-letter resurrection: a
+// dead-lettered request may re-enter the pipeline with a fresh attempt
+// budget, but only while the target node is healthy and only a bounded
+// number of times per request — resurrection must never become an
+// unbounded retry loop. The zero value (Enabled false) disables the
+// machinery entirely: no RNG stream, no timers, byte-identical to the
+// pre-requeue manager.
+type RequeuePolicy struct {
+	// Enabled arms the dead-letter requeue path.
+	Enabled bool
+	// MaxResurrections bounds resurrections per request.
+	MaxResurrections int
+	// RequeueDelay is the dwell between dead-lettering and the health
+	// check that gates resurrection.
+	RequeueDelay sim.Duration
+	// JitterFrac spreads each dwell by ±frac, drawn from the manager's
+	// dedicated "cluster.requeue" stream.
+	JitterFrac float64
+	// MaxHealthChecks bounds how many times an unhealthy verdict is
+	// re-polled before the request is abandoned in the dead-letter state.
+	MaxHealthChecks int
+}
+
+// DefaultRequeuePolicy allows one resurrection per request after a short
+// health-gated dwell.
+func DefaultRequeuePolicy() RequeuePolicy {
+	return RequeuePolicy{
+		Enabled:          true,
+		MaxResurrections: 1,
+		RequeueDelay:     50 * sim.Millisecond,
+		JitterFrac:       0.2,
+		MaxHealthChecks:  4,
+	}
+}
+
+// normalize fills zero fields of an enabled policy with defaults so a
+// caller can set just Enabled.
+func (p RequeuePolicy) normalize() RequeuePolicy {
+	if !p.Enabled {
+		return p
+	}
+	d := DefaultRequeuePolicy()
+	if p.MaxResurrections <= 0 {
+		p.MaxResurrections = d.MaxResurrections
+	}
+	if p.RequeueDelay <= 0 {
+		p.RequeueDelay = d.RequeueDelay
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	if p.MaxHealthChecks <= 0 {
+		p.MaxHealthChecks = d.MaxHealthChecks
+	}
+	return p
 }

@@ -212,3 +212,29 @@ func (b *Breaker) Trips() uint64 { return b.trips }
 
 // Rejects returns how many ops were rejected while open.
 func (b *Breaker) Rejects() uint64 { return b.rejects }
+
+// BreakerCounters is a read-only snapshot of the breaker's state machine
+// tallies — the surface the runtime invariant auditor (internal/audit)
+// checks for state-machine legality.
+type BreakerCounters struct {
+	State     BreakerState
+	Trips     uint64
+	Rejects   uint64
+	Timeouts  uint64
+	Nacks     uint64
+	HalfOpens uint64
+	Closes    uint64
+}
+
+// Counters returns a snapshot of the outcome tallies.
+func (b *Breaker) Counters() BreakerCounters {
+	return BreakerCounters{
+		State:     b.state,
+		Trips:     b.trips,
+		Rejects:   b.rejects,
+		Timeouts:  b.timeouts,
+		Nacks:     b.nacks,
+		HalfOpens: b.halfOpens,
+		Closes:    b.closes,
+	}
+}

@@ -164,6 +164,8 @@ func (s *Scheduler) reclaimWatchdog(slot *dpSlot) {
 	}
 	d := s.defense
 	s.FaultsDetected.Inc()
+	// Any watchdog escalation voids recovery probation progress.
+	s.recoveryOnEscalation()
 	if slot.wdRetries < d.cfg.ReclaimRetries {
 		// Escalate: a forced IPI this time, not a probe request.
 		slot.wdRetries++
@@ -215,11 +217,16 @@ func (s *Scheduler) reclaimWatchdog(slot *dpSlot) {
 // discovered only at slice expiry while the probe claimed silence). Too
 // many inside the sliding window disqualify the probe: the scheduler
 // falls back to software-probe-only reclaim.
-func (s *Scheduler) noteProbeMiss() {
+func (s *Scheduler) noteProbeMiss(slot *dpSlot) {
 	d := s.defense
 	now := s.engine.Now()
 	s.FaultsDetected.Inc()
-	s.FaultsRecovered.Inc() // the slice expiry itself recovered the core
+	if slot.wdRetries == 0 {
+		// The slice expiry itself recovered the core. When the watchdog
+		// already escalated this slot, resumeDP owns the recovery count —
+		// incrementing here too would double-count the incident.
+		s.FaultsRecovered.Inc()
+	}
 	d.missTimes = append(d.missTimes, now)
 	cutoff := now.Add(-d.cfg.ProbeMissWindow)
 	for len(d.missTimes) > 0 && d.missTimes[0] < cutoff {
@@ -229,7 +236,12 @@ func (s *Scheduler) noteProbeMiss() {
 		s.ProbeFallbacks.Inc()
 		d.mode = ModeSWProbe
 		s.node.Probe.Enabled = false
+		// CPU -1: like the static fallback, a scheduler-wide transition.
+		// The mode-lattice audit pairs this against defense_recover rungs.
+		s.node.Tracer.Emit(now, trace.KindReclaimEscalate, -1,
+			int64(len(d.missTimes)), "sw-probe")
 		d.missTimes = nil
+		s.recoveryOnDegrade()
 	}
 }
 
@@ -262,6 +274,9 @@ func (s *Scheduler) enterStatic() {
 	if s.OnStaticFallback != nil {
 		s.OnStaticFallback()
 	}
+	// Arm the cooldown-driven exit attempt (no-op unless EnableRecovery
+	// armed the self-healing ladder).
+	s.recoveryOnStatic()
 }
 
 // SetCoreDown marks a DP core hardware-offline (or back online) on behalf

@@ -78,12 +78,13 @@ func TestProbeMissWindowBoundary(t *testing.T) {
 			ProbeMissWindow:     sim.Millisecond,
 			SchedWatchdogPeriod: 0,
 		})
+		slot := tc.Sched.slots[tc.Sched.order[0]]
 		for _, at := range []sim.Time{
 			sim.Time(10 * sim.Microsecond),
 			sim.Time(510 * sim.Microsecond),
 			thirdAt,
 		} {
-			tc.Node.Engine.At(at, func() { tc.Sched.noteProbeMiss() })
+			tc.Node.Engine.At(at, func() { tc.Sched.noteProbeMiss(slot) })
 		}
 		tc.Run(sim.Time(2 * sim.Millisecond))
 		return tc

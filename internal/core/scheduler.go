@@ -130,6 +130,9 @@ type Scheduler struct {
 	// defense holds the graceful-degradation state; nil (the fault-free
 	// default) keeps every defense path completely inert.
 	defense *defenseState
+	// recovery holds the self-healing de-escalation state (recovery.go);
+	// nil keeps every recovery path completely inert.
+	recovery *recoveryState
 	// OnStaticFallback, when non-nil, fires once per entry into static
 	// partitioning, after lending is suspended — the hook TaiChi uses to
 	// detach subsystems (like an active audit) that depend on vCPUs
@@ -151,6 +154,11 @@ type Scheduler struct {
 	WatchdogTeardowns *metrics.Counter
 	ProbeFallbacks    *metrics.Counter
 	StaticFallbacks   *metrics.Counter
+
+	// Recovery metrics (recovery.go); like the defense counters they are
+	// always created and stay zero unless EnableRecovery armed the ladder.
+	DefenseRecoveries *metrics.Counter
+	Reescalations     *metrics.Counter
 }
 
 // NewScheduler mounts Tai Chi onto the node: creates and registers the
@@ -183,6 +191,9 @@ func NewScheduler(node *platform.Node, cfg Config) *Scheduler {
 		WatchdogTeardowns: metrics.NewCounter("taichi.watchdog_teardowns"),
 		ProbeFallbacks:    metrics.NewCounter("taichi.probe_fallbacks"),
 		StaticFallbacks:   metrics.NewCounter("taichi.static_fallbacks"),
+
+		DefenseRecoveries: metrics.NewCounter("taichi.defense_recoveries"),
+		Reescalations:     metrics.NewCounter("taichi.reescalations"),
 	}
 	s.orch = NewOrchestrator(node.Kernel)
 
@@ -526,7 +537,7 @@ func (s *Scheduler) onExit(v *vcpu.VCPU, reason vcpu.ExitReason) {
 				// probe's trustworthiness.
 				if s.defense != nil && s.node.Probe != nil &&
 					s.node.Probe.Enabled && slot.preemptReq == 0 {
-					s.noteProbeMiss()
+					s.noteProbeMiss(slot)
 				}
 				slot.slice = s.cfg.InitialSlice
 				s.sw.FalsePositive(slot.dp.ID)
@@ -603,7 +614,8 @@ func (s *Scheduler) resumeDP(slot *dpSlot) {
 		slot.wdEv.Cancel()
 		slot.wdEv = nil
 	}
-	if slot.wdRetries > 0 {
+	clean := slot.wdRetries == 0
+	if !clean {
 		// The reclaim only completed because the watchdog escalated.
 		s.FaultsRecovered.Inc()
 		slot.wdRetries = 0
@@ -615,6 +627,11 @@ func (s *Scheduler) resumeDP(slot *dpSlot) {
 	slot.available = false
 	if slot.dp.State() == dataplane.Yielded {
 		slot.dp.Resume()
+	}
+	if clean {
+		// A watchdog-free reclaim is probation evidence for the recovery
+		// ladder (no-op unless EnableRecovery armed it).
+		s.noteCleanReclaim(slot)
 	}
 }
 

@@ -120,6 +120,11 @@ func (t *TaiChi) Describe() string {
 		s.DefenseMode(), s.FaultsDetected.Value(), s.FaultsRecovered.Value(),
 		s.WatchdogRetries.Value(), s.WatchdogTeardowns.Value(),
 		s.ProbeFallbacks.Value(), s.StaticFallbacks.Value())
+	// The recovery line is always printed for the same reason as the
+	// defense line: byte-identity between armed-but-idle and unarmed runs.
+	rs := s.RecoveryStats()
+	fmt.Fprintf(&b, "recovery: recoveries=%d reescalations=%d generation=%d rejoined=%v\n",
+		s.DefenseRecoveries.Value(), s.Reescalations.Value(), rs.Generation, rs.Rejoined)
 	// Like the defense counters, the breaker line is always printed: a
 	// node that never installed one renders the identical zero line.
 	if t.Breaker != nil {

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestChaosRecoveryReconverges is the self-healing acceptance gate: with
+// the recovery ladder armed and injection front-loaded (the injector
+// stops at mid-horizon), every fault level ≤ 1x must end the run outside
+// any degraded mode with final-quarter DP throughput ≥ 95% of the
+// same-seed zero-fault baseline, the 1x level must actually exercise the
+// ladder (fall to static, climb back), and the rendered sweep must be
+// byte-identical across 1 and 8 workers.
+func TestChaosRecoveryReconverges(t *testing.T) {
+	t.Parallel()
+	render := func(workers int) string {
+		scale := Quick
+		scale.Workers = workers
+		tbl, vals := ChaosRecovery(scale, 980)
+		for _, lvl := range []string{"0x", "0.5x", "1x"} {
+			if vals["rec_static_at_exit_"+lvl] != 0 {
+				t.Fatalf("workers %d: node still static at exit at %s", workers, lvl)
+			}
+			for _, mode := range []string{"static", "sw-probe"} {
+				if vals["degraded_"+mode+"_"+lvl+"-rec"] != 0 {
+					t.Fatalf("workers %d: node degraded (%s) at exit at %s", workers, mode, lvl)
+				}
+			}
+			fq, base := vals["rec_fq_dp_"+lvl], vals["rec_fq_base_"+lvl]
+			if base == 0 {
+				t.Fatalf("workers %d: zero-fault baseline processed nothing at %s", workers, lvl)
+			}
+			if fq < 0.95*base {
+				t.Fatalf("workers %d level %s: final-quarter throughput %v < 95%% of baseline %v — did not re-converge",
+					workers, lvl, fq, base)
+			}
+		}
+		// The gate is only meaningful if the ladder was really walked:
+		// the 1x level must fall all the way to static and recover.
+		if vals["rec_static_fb_1x"] == 0 {
+			t.Fatalf("workers %d: 1x never reached static — sweep not exercising the ladder", workers)
+		}
+		if vals["rec_recoveries_1x"] < 2 {
+			t.Fatalf("workers %d: 1x recoveries=%v, want the full static→sw-probe→normal climb",
+				workers, vals["rec_recoveries_1x"])
+		}
+		return tbl.String()
+	}
+	sequential := render(1)
+	if parallel := render(8); parallel != sequential {
+		t.Fatalf("recovery sweep differs between 1 and 8 workers:\n--- 1\n%s--- 8\n%s",
+			sequential, parallel)
+	}
+}

@@ -30,6 +30,7 @@ type Injector struct {
 
 	tc       *core.TaiChi
 	attached bool
+	stopped  bool
 	cpRNG    *rand.Rand
 
 	probeMiss, spurious, ipiDrop, ipiDelay *metrics.Counter
@@ -85,6 +86,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 	if s.ProbeMissRate > 0 && node.Probe != nil {
 		r := node.Stream("faults.probe")
 		node.Probe.MissCheck = func(int) bool {
+			if i.stopped {
+				return false
+			}
 			if r.Float64() < s.ProbeMissRate {
 				i.probeMiss.Inc()
 				return true
@@ -100,6 +104,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 		var arm func()
 		arm = func() {
 			node.Engine.Schedule(sim.Exponential(r, s.SpuriousReclaimMTBF), func() {
+				if i.stopped {
+					return
+				}
 				if node.Probe.InjectSpurious(cores[r.Intn(len(cores))].ID) {
 					i.spurious.Inc()
 				}
@@ -113,6 +120,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 	if s.IPIDropRate > 0 || s.IPIDelayRate > 0 {
 		r := node.Stream("faults.ipi")
 		node.Kernel.IPIFault = func(kernel.CPUID, kernel.Vector) (bool, sim.Duration) {
+			if i.stopped {
+				return false, 0
+			}
 			if s.IPIDropRate > 0 && r.Float64() < s.IPIDropRate {
 				i.ipiDrop.Inc()
 				return true, 0
@@ -131,6 +141,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 		r := node.Stream("faults.exit")
 		for _, v := range tc.Sched.VCPUs() {
 			v.ExitStall = func(*vcpu.VCPU) sim.Duration {
+				if i.stopped {
+					return 0
+				}
 				if r.Float64() < s.ExitStallRate {
 					i.exitStall.Inc()
 					return sim.Exponential(r, s.ExitStallMean)
@@ -144,6 +157,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 	if s.LockStallRate > 0 {
 		r := node.Stream("faults.lock")
 		node.Kernel.SegStretch = func(_ *kernel.Thread, kind kernel.SegKind, dur sim.Duration) sim.Duration {
+			if i.stopped {
+				return dur
+			}
 			if (kind == kernel.SegNonPreempt || kind == kernel.SegLock) &&
 				r.Float64() < s.LockStallRate {
 				i.lockStall.Inc()
@@ -160,6 +176,9 @@ func (i *Injector) Attach(tc *core.TaiChi) {
 		var arm func()
 		arm = func() {
 			node.Engine.Schedule(sim.Exponential(r, s.CoreOfflineMTBF), func() {
+				if i.stopped {
+					return
+				}
 				dp := cores[r.Intn(len(cores))]
 				if !dp.Down() {
 					i.offline.Inc()
@@ -211,6 +230,10 @@ const nackLatency = 5 * sim.Microsecond
 
 // TryConfigureDevice implements controlplane.FallibleCoordinator.
 func (c *coordFaults) TryConfigureDevice(flow int, done func(ok bool)) {
+	if c.inj.stopped {
+		controlplane.TryConfigure(c.inner, flow, done)
+		return
+	}
 	s := c.inj.Spec
 	if s.ProvisionNackRate > 0 && c.r.Float64() < s.ProvisionNackRate {
 		c.inj.nack.Inc()
@@ -241,6 +264,18 @@ func (c *coordFaults) ConfigureDevice(flow int, done func()) {
 // Attached reports whether Attach has run.
 func (i *Injector) Attached() bool { return i.attached }
 
+// Stop quiesces every armed fault class from the current instant on:
+// the hooks stay installed but inject nothing further, and the
+// self-re-arming event loops (spurious reclaims, core offlines) unwind
+// at their next firing. Intensities already in flight — an outage whose
+// re-online is scheduled, a CP hang segment already drawn — run to
+// completion, matching how a real incident tails off rather than
+// vanishing. Stopping draws no randomness, so a (seed, spec, stop-time)
+// triple replays bit-for-bit. The chaos re-convergence sweep uses this
+// to bound injection to the front of the horizon and measure whether
+// the recovery ladder climbs back once the weather clears.
+func (i *Injector) Stop() { i.stopped = true }
+
 // WrapCP wraps a CP task program with the crash and hang fault classes:
 // at each segment boundary the task may die outright (crash) or wedge in
 // a long busy segment (hang) before resuming its real program. Returns
@@ -252,6 +287,9 @@ func (i *Injector) WrapCP(prog kernel.Program) kernel.Program {
 	r := i.cpRNG
 	s := i.Spec
 	return kernel.ProgramFunc(func(t *kernel.Thread) (kernel.Segment, bool) {
+		if i.stopped {
+			return prog.Next(t)
+		}
 		if s.CPCrashRate > 0 && r.Float64() < s.CPCrashRate {
 			i.cpCrash.Inc()
 			return kernel.Segment{}, false

@@ -20,6 +20,13 @@ type NodeReport struct {
 	// home elsewhere; on a healthy node they are merely unfinished and
 	// are accounted as failover.pending.
 	Stranded int
+	// Rejoined reports a self-healed node: it degraded mid-run (static
+	// fallback or open breaker) but its recovery ladder brought it back
+	// to health by the horizon. A rejoined node is Healthy, sits in the
+	// round-robin re-dispatch ring at its original index (the
+	// deterministic rebalance share), and is additionally counted as
+	// failover.nodes_rejoined.
+	Rejoined bool
 }
 
 // FailoverMember runs one node to its horizon, reports into the member's
@@ -33,13 +40,14 @@ type Redispatch func(idx int, seed int64, count int, agg *Aggregates)
 
 // RunFailover executes n members, then re-dispatches the work stranded
 // on unhealthy nodes across the healthy ones (round-robin, index order).
-// The merged aggregates gain four scalars: failover.nodes_failed,
+// The merged aggregates gain five scalars: failover.nodes_failed,
 // failover.redispatched, failover.lost (stranded requests with no
-// healthy node left to take them), and failover.pending (requests left
+// healthy node left to take them), failover.pending (requests left
 // non-terminal at the horizon on healthy nodes — not re-dispatched,
 // since their node can still finish them, but surfaced so stranded work
-// never silently understates). Output is byte-identical for any worker
-// count.
+// never silently understates), and failover.nodes_rejoined (members that
+// degraded mid-run but self-healed back to health by the horizon).
+// Output is byte-identical for any worker count.
 func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redispatch Redispatch) *Aggregates {
 	if n <= 0 {
 		panic("fleet: need at least one member")
@@ -60,11 +68,14 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 		}
 	}
 	counts := make([]int, len(healthy))
-	nodesFailed, redispatched, lost, pending := 0, 0, 0, 0
+	nodesFailed, redispatched, lost, pending, rejoined := 0, 0, 0, 0, 0
 	next := 0
 	for _, rep := range reports {
 		if rep.Healthy {
 			pending += rep.Stranded
+			if rep.Rejoined {
+				rejoined++
+			}
 			continue
 		}
 		nodesFailed++
@@ -105,5 +116,6 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 	total.Add("failover.redispatched", float64(redispatched))
 	total.Add("failover.lost", float64(lost))
 	total.Add("failover.pending", float64(pending))
+	total.Add("failover.nodes_rejoined", float64(rejoined))
 	return total
 }

@@ -105,6 +105,45 @@ func TestFailoverAllHealthyIsPlainRun(t *testing.T) {
 	}
 }
 
+// TestFailoverRejoinedNodesAbsorbWork: a node whose recovery ladder
+// brought it back by the horizon is Healthy+Rejoined — it must be
+// counted in failover.nodes_rejoined, keep its original slot in the
+// round-robin re-dispatch ring, and absorb stranded work like any
+// always-healthy member. A node that claims Rejoined while unhealthy
+// (the ladder climbed but fell again) must not count.
+func TestFailoverRejoinedNodesAbsorbWork(t *testing.T) {
+	agg := RunFailover(5, 13, 1,
+		func(idx int, seed int64, agg *Aggregates) NodeReport {
+			switch idx {
+			case 0: // failed outright, strands work
+				return NodeReport{Healthy: false, Stranded: 3}
+			case 2, 4: // self-healed by the horizon
+				return NodeReport{Healthy: true, Rejoined: true}
+			case 3: // climbed back but re-degraded: rejoin claim is void
+				return NodeReport{Healthy: false, Rejoined: true, Stranded: 1}
+			default:
+				return NodeReport{Healthy: true}
+			}
+		},
+		func(idx int, seed int64, count int, agg *Aggregates) {
+			agg.Add(fmt.Sprintf("redispatch.node%d", idx), float64(count))
+		})
+	if got := agg.Scalar("failover.nodes_rejoined"); got != 2 {
+		t.Fatalf("nodes_rejoined = %v, want 2 (unhealthy rejoin claims must not count)", got)
+	}
+	if got := agg.Scalar("failover.nodes_failed"); got != 2 {
+		t.Fatalf("nodes_failed = %v, want 2", got)
+	}
+	// 4 stranded requests round-robin over healthy ring 1,2,4 → 2,1,1:
+	// the rejoined nodes 2 and 4 take their deterministic shares.
+	want := map[int]float64{1: 2, 2: 1, 4: 1}
+	for idx, count := range want {
+		if got := agg.Scalar(fmt.Sprintf("redispatch.node%d", idx)); got != count {
+			t.Fatalf("node %d absorbed %v, want %v", idx, got, count)
+		}
+	}
+}
+
 // TestFailoverHealthyStrandedCountsAsPending: a healthy node that hits
 // the horizon with non-terminal requests keeps them (no re-dispatch),
 // but the work must surface in failover.pending rather than silently

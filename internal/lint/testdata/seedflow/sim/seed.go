@@ -65,6 +65,41 @@ func NewUnseededRetrier() *retrier {
 	return &retrier{r: rand.New(rand.NewSource(99))} // want `NewUnseededRetrier reaches a randomness source`
 }
 
+// Good: the recovery-ladder shape — cooldown jitter drawn from a named
+// host stream, mirroring core.EnableRecovery's "core.recovery" stream.
+// The seed flows through the host, so the static-exit schedule replays.
+type ladder struct {
+	r          *rand.Rand
+	generation int
+}
+
+func NewRecoveryLadder(h host) *ladder {
+	return &ladder{r: h.Stream("core.recovery")}
+}
+
+// Bad: a ladder whose cooldown jitter comes from an invented source —
+// every static-exit instant diverges between replays.
+func NewUnseededLadder() *ladder {
+	return &ladder{r: rand.New(rand.NewSource(17))} // want `NewUnseededLadder reaches a randomness source`
+}
+
+// Good: the dead-letter requeue shape — resurrection dwell jitter drawn
+// from a named host stream, mirroring cluster.NewManager's
+// "cluster.requeue" stream.
+type requeuer struct {
+	r       *rand.Rand
+	pending int
+}
+
+func NewRequeuer(h host) *requeuer {
+	return &requeuer{r: h.Stream("cluster.requeue")}
+}
+
+// Bad: the same requeuer with inline randomness in the constructor.
+func NewUnseededRequeuer() *requeuer {
+	return &requeuer{r: rand.New(rand.NewSource(23))} // want `NewUnseededRequeuer reaches a randomness source`
+}
+
 // Unexported constructors and non-constructor functions are out of
 // scope for this rule (walltime/globalrand still cover their bodies).
 func newScratch() *widget {

@@ -156,7 +156,14 @@ func Derive(events []trace.Event) Derivation {
 		case trace.KindRequestCompleted, trace.KindRequestDeadLetter:
 			pop("attempt", e.Arg, e)
 			pop("request", e.Arg, e)
-		case trace.KindSchedSwitch, trace.KindReclaimEscalate:
+		case trace.KindRequestResurrected:
+			// A resurrected request re-opens its request span (the
+			// dead-letter closed it); the instant itself is also marked so
+			// timelines show the resurrection point.
+			push("request", e.Arg, e)
+			mark(e)
+		case trace.KindSchedSwitch, trace.KindReclaimEscalate,
+			trace.KindDefenseRecover, trace.KindNodeRejoin:
 			mark(e)
 		}
 	}

@@ -105,6 +105,8 @@ func DefaultTraceKinds() []trace.Kind {
 		trace.KindRequestIssued, trace.KindRequestAttempt,
 		trace.KindRequestRetry, trace.KindRequestCompleted,
 		trace.KindRequestDeadLetter, trace.KindReclaimEscalate,
+		trace.KindDefenseRecover, trace.KindNodeRejoin,
+		trace.KindRequestResurrected,
 	}
 }
 

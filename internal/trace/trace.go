@@ -70,8 +70,21 @@ const (
 	KindRequestDeadLetter
 	// KindReclaimEscalate marks one rung of the reclaim watchdog's
 	// escalation ladder (ARCHITECTURE.md §6.2): Arg is the DP core id and
-	// Note is the rung ("forced-ipi", "teardown", "static").
+	// Note is the rung ("forced-ipi", "teardown", "static", "sw-probe").
 	KindReclaimEscalate
+	// KindDefenseRecover marks one de-escalation rung of the recovery
+	// ladder (ARCHITECTURE.md §6.5): CPU is -1 (scheduler-wide), Arg is
+	// the recovery generation, Note the rung reached ("sw-probe",
+	// "normal").
+	KindDefenseRecover
+	// KindNodeRejoin marks the scheduler returning to ModeNormal after a
+	// degradation episode — the node is fully back in the lending (and,
+	// fleet-side, dispatch) ring. CPU is -1, Arg the recovery generation.
+	KindNodeRejoin
+	// KindRequestResurrected marks a dead-lettered VM-creation request
+	// re-entering the pipeline under the bounded requeue policy. Arg is
+	// the VM id; Note carries the resurrection ordinal ("life2", ...).
+	KindRequestResurrected
 )
 
 var kindNames = map[Kind]string{
@@ -97,6 +110,9 @@ var kindNames = map[Kind]string{
 	KindRequestCompleted:     "req_completed",
 	KindRequestDeadLetter:    "req_deadletter",
 	KindReclaimEscalate:      "reclaim_escalate",
+	KindDefenseRecover:       "defense_recover",
+	KindNodeRejoin:           "node_rejoin",
+	KindRequestResurrected:   "req_resurrected",
 }
 
 // Kinds returns every named kind in declaration order — the exporter's

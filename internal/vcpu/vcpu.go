@@ -228,7 +228,11 @@ func (v *VCPU) ForceExit(reason ExitReason) {
 	case StateRunning:
 		v.beginExit(reason)
 	case StateEntering:
-		// Revoke mid-entry: cheap, guest never resumed.
+		// Revoke mid-entry: cheap, guest never resumed. The exit event is
+		// still emitted (note "revoked") so every vm_entry in the trace has
+		// a matching vm_exit — the residency-conservation invariant the
+		// runtime auditor (internal/audit) checks.
+		v.tracer.Emit(v.engine.Now(), trace.KindVMExit, v.core, int64(v.cpu.ID), "revoked")
 		v.state = StateReady
 		v.core = -1
 		cb := v.exitCb
