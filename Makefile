@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-go bench-smoke chaos-smoke audit-smoke
+.PHONY: check fmt vet lint build test test-race race bench bench-go bench-smoke chaos-smoke audit-smoke
 
-check: fmt vet lint build race bench-smoke audit-smoke
+check: fmt vet lint build test-race bench-smoke audit-smoke
 
 # Determinism lint: wall clocks, global RNG, unordered map iteration,
 # core concurrency, and seedless constructors. Zero diagnostics is the
@@ -37,8 +37,16 @@ test:
 # The experiments package legitimately runs >10m under the race
 # detector (full figure sweeps × chaos outcome drains), so the default
 # go-test timeout is too tight.
-race:
+test-race:
 	$(GO) test -race -timeout 30m ./...
+
+# The deep race gate: two runs with a shuffled test order. -count=2
+# catches state leaked between runs (package-level caches, leaked
+# goroutines still racing into the second run); -shuffle=on catches
+# inter-test order dependencies that a fixed order hides. Too slow for
+# the pre-commit `check` target — it backs the dedicated CI race job.
+race:
+	$(GO) test -race -count=2 -shuffle=on -timeout 60m ./...
 
 # Perf-regression harness: run the pinned scenarios (fig2, fig17,
 # chaos, vmstartup) and emit BENCH_taichi.json — ns/op, events/sec,

@@ -136,7 +136,7 @@ func runNode(mode, workload string, seed int64, horizon sim.Duration, retry, wit
 		// A production-like CP mix (monitors + synth churn), the §3.2 setup.
 		for i := 0; i < 12; i++ {
 			spawn(fmt.Sprintf("monitor%d", i),
-				controlplane.Monitor(controlplane.DefaultMonitor(), node.Stream(fmt.Sprintf("mon%d", i))))
+				controlplane.Monitor(controlplane.DefaultMonitor(), node.Stream(fmt.Sprintf("churn.mon%d", i))))
 		}
 		cfg := controlplane.DefaultSynthCP()
 		r := node.Stream("churn")

@@ -10,9 +10,13 @@
 // print in `go vet` style (file:line:col: message) suffixed with the
 // analyzer name, sorted by position, so output is itself deterministic.
 //
-// See internal/lint for the five rules (walltime, globalrand,
-// maporder, goroutine, seedflow) and ARCHITECTURE.md §7 for the
-// contract they enforce.
+// See internal/lint for the rules — five per-package (walltime,
+// globalrand, maporder, goroutine, seedflow) and four whole-program
+// built on the interprocedural facts layer (lockorder, streamdraw,
+// traceschema, atomicmix) — and ARCHITECTURE.md §7 for the contract
+// they enforce. The whole-program rules see exactly the packages the
+// pattern loads, so schema cross-checks (traceschema) only fire on
+// patterns that include internal/trace.
 package main
 
 import (

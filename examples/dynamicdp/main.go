@@ -64,7 +64,7 @@ func run(repartition bool) (cps, iops float64, cpTurnaround metrics.Summary) {
 	var jobs []*kernel.Thread
 	for i := 0; i < 8; i++ {
 		jobs = append(jobs, sys.SpawnCP(fmt.Sprintf("job%d", i),
-			controlplane.SynthCP(cfg, node.Stream(fmt.Sprintf("job%d", i)))))
+			controlplane.SynthCP(cfg, node.Stream(fmt.Sprintf("dyndp.job%d", i)))))
 	}
 	sys.Run(node.Now().Add(taichi.Seconds(1).Sub(0)))
 	h := metrics.NewHistogram("cp")

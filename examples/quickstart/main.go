@@ -47,7 +47,7 @@ func main() {
 	cfg := controlplane.DefaultSynthCP()
 	for i := 0; i < 24; i++ {
 		jobs = append(jobs, sys.SpawnCP(fmt.Sprintf("job%d", i),
-			controlplane.SynthCP(cfg, node.Stream(fmt.Sprintf("job%d", i)))))
+			controlplane.SynthCP(cfg, node.Stream(fmt.Sprintf("qs.job%d", i)))))
 	}
 
 	sys.Run(taichi.Seconds(2))

@@ -171,7 +171,7 @@ func ChaosRecovery(scale Scale, baseSeed int64) (*metrics.Table, map[string]floa
 
 		cfg := controlplane.DefaultSynthCP()
 		for j := 0; j < 24; j++ {
-			prog := controlplane.SynthCP(cfg, tc.Stream(fmt.Sprintf("chaos.cp%d", j)))
+			prog := controlplane.SynthCP(cfg, tc.Stream(fmt.Sprintf("chaosrec.cp%d", j)))
 			tc.SpawnCP(fmt.Sprintf("cp%d", j), inj.WrapCP(prog))
 		}
 

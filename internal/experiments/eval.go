@@ -264,7 +264,7 @@ func Fig14DPSuite(scale Scale) *Result {
 			// Production traffic is duty-cycled: trains of requests with
 			// sub-ms quiet gaps. The gaps are where Tai Chi borrows cores —
 			// and where its cache/TLB pollution cost comes from (§6.5).
-			phase := workload.NewPhaser(node.Engine, node.Stream("phase"), 700*sim.Microsecond, 250*sim.Microsecond)
+			phase := workload.NewPhaser(node.Engine, node.Stream("fig14.phase"), 700*sim.Microsecond, 250*sim.Microsecond)
 			node.Run(sim.Time(200 * sim.Millisecond))
 			vals[i] = measure(node, phase)
 		}
@@ -356,7 +356,7 @@ func Fig15MySQL(scale Scale) *Result {
 		}
 		withHeavyCPLoad(host, node)
 		mcfg := workload.DefaultMySQL()
-		mcfg.Phase = workload.NewPhaser(node.Engine, node.Stream("phase"), 700*sim.Microsecond, 250*sim.Microsecond)
+		mcfg.Phase = workload.NewPhaser(node.Engine, node.Stream("fig15.phase"), 700*sim.Microsecond, 250*sim.Microsecond)
 		m := workload.NewMySQL(node, mcfg)
 		node.Run(sim.Time(200 * sim.Millisecond))
 		m.Start()
@@ -415,7 +415,7 @@ func Fig16Nginx(scale Scale) *Result {
 			}
 			withHeavyCPLoad(host, node)
 			cfg := workload.DefaultNginx(cse.https, cse.short)
-			cfg.Phase = workload.NewPhaser(node.Engine, node.Stream("phase"), 700*sim.Microsecond, 250*sim.Microsecond)
+			cfg.Phase = workload.NewPhaser(node.Engine, node.Stream("fig16.phase"), 700*sim.Microsecond, 250*sim.Microsecond)
 			cfg.Connections = int(10000 * scale.Factor)
 			if cfg.Connections < 2000 {
 				cfg.Connections = 2000

@@ -90,7 +90,7 @@ type cpSpawner interface {
 func deployMonitors(host cpSpawner, stream func(name string) *rand.Rand, n int) {
 	for i := 0; i < n; i++ {
 		cfg := controlplane.DefaultMonitor()
-		host.SpawnCP(fmt.Sprintf("monitor%d", i), controlplane.Monitor(cfg, stream(fmt.Sprintf("mon%d", i))))
+		host.SpawnCP(fmt.Sprintf("monitor%d", i), controlplane.Monitor(cfg, stream(fmt.Sprintf("exp.mon%d", i))))
 	}
 }
 

@@ -14,7 +14,7 @@ func TestChaosRecoveryReconverges(t *testing.T) {
 	render := func(workers int) string {
 		scale := Quick
 		scale.Workers = workers
-		tbl, vals := ChaosRecovery(scale, 980)
+		tbl, vals := ChaosRecovery(scale, 937)
 		for _, lvl := range []string{"0x", "0.5x", "1x"} {
 			if vals["rec_static_at_exit_"+lvl] != 0 {
 				t.Fatalf("workers %d: node still static at exit at %s", workers, lvl)

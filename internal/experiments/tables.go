@@ -232,7 +232,7 @@ func AblationLockRescue(scale Scale) *Result {
 		// saturating 3 ms burst keeps every DP core busy — without rescue
 		// a preempted lock holder has nowhere to run while spinners burn
 		// the CP cores.
-		phase := workload.NewPhaser(tc.Node.Engine, tc.Node.Stream("phase"), 3*sim.Millisecond, 300*sim.Microsecond)
+		phase := workload.NewPhaser(tc.Node.Engine, tc.Node.Stream("rescue.phase"), 3*sim.Millisecond, 300*sim.Microsecond)
 		wcfg := workload.DefaultStream()
 		wcfg.Phase = phase
 		stream := workload.NewStream(tc.Node, wcfg)

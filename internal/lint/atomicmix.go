@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags variables and struct fields accessed both through
+// sync/atomic and through plain loads or stores. Mixing the two is a
+// data race even when every *write* is atomic — a plain read can
+// observe a torn or stale value, and the race detector only reports it
+// on the interleavings that actually occur under test. The module-wide
+// view matters because the atomic side and the plain side are typically
+// in different packages (a worker increments atomically, a reporter
+// reads plainly).
+//
+// Address-taking (&x.f) outside an atomic call is not flagged: the
+// pointer may legitimately flow into another atomic operation. Plain
+// value reads and direct writes are.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic must never also be read or written plainly; " +
+		"mixed access is a data race the race detector only catches when the interleaving fires",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pass *ProgramPass) {
+	// Pass 1: every variable whose address feeds a sync/atomic call,
+	// and the exact identifier nodes consumed by those calls.
+	atomicAt := map[*types.Var]sitePos{}
+	inAtomic := map[*ast.Ident]bool{}
+	for _, fi := range pass.Prog.Functions() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(fi.Pkg, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			id := baseIdent(un.X)
+			if id == nil {
+				return true
+			}
+			v := targetVar(fi.Pkg, un.X)
+			if v == nil {
+				return true
+			}
+			inAtomic[id] = true
+			if _, seen := atomicAt[v]; !seen {
+				atomicAt[v] = sitePos{fi.Pkg, call.Pos()}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses to those variables. Skip the identifiers
+	// inside atomic calls, composite-literal keys (construction), and
+	// address-taking (the pointer may reach another atomic op).
+	for _, fi := range pass.Prog.Functions() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		fi := fi
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if id := baseIdent(n.X); id != nil && targetVar(fi.Pkg, n.X) != nil {
+						return false
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						ast.Inspect(kv.Value, visit)
+					} else {
+						ast.Inspect(elt, visit)
+					}
+				}
+				return false
+			case *ast.Ident:
+				v, ok := fi.Pkg.Info.Uses[n].(*types.Var)
+				if !ok || inAtomic[n] {
+					return true
+				}
+				site, tracked := atomicAt[v]
+				if !tracked {
+					return true
+				}
+				pass.Report(fi.Pkg, n.Pos(),
+					"%s is accessed via sync/atomic at %s but read/written plainly here — mixed atomic and plain access races",
+					v.Name(), site)
+			}
+			return true
+		}
+		ast.Inspect(fi.Decl.Body, visit)
+	}
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function taking an address first (Add*, Load*, Store*, Swap*,
+// CompareAndSwap*).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// targetVar resolves the variable or field an lvalue expression
+// denotes: x, x.f, s.stats.n.
+func targetVar(pkg *Package, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pkg.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pkg.Info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// baseIdent returns the identifier naming the accessed variable or
+// field: x → x, s.count → count.
+func baseIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The //taichi:allow grammar is validated by the framework itself (the
+// "directive" pseudo-rule), not by any analyzer, so a malformed
+// directive can never suppress its own diagnostic. These tests pin the
+// grammar: comma-scoped rule lists, mandatory justification after an
+// em- or double dash, and rejection of unknown rule names.
+
+func parseDirectives(t *testing.T, src string) (directiveIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing directive source: %v", err)
+	}
+	return buildDirectiveIndex(fset, []*ast.File{f})
+}
+
+func TestDirectiveCommaScopedRules(t *testing.T) {
+	idx, issues := parseDirectives(t, `package p
+
+//taichi:allow walltime,maporder — CLI progress line needs both
+var x = 1
+`)
+	if len(issues) != 0 {
+		t.Fatalf("well-formed directive reported issues: %v", issues)
+	}
+	for _, rule := range []string{"walltime", "maporder"} {
+		if !idx.allows("dir.go", 4, rule) {
+			t.Errorf("comma-scoped directive does not allow %q on the line below", rule)
+		}
+	}
+	if idx.allows("dir.go", 4, "goroutine") {
+		t.Error("directive allows a rule it never named")
+	}
+	if idx.allows("dir.go", 5, "walltime") {
+		t.Error("directive leaks past the line directly below it")
+	}
+}
+
+func TestDirectiveDoubleDashJustification(t *testing.T) {
+	idx, issues := parseDirectives(t, `package p
+
+var x = 1 //taichi:allow walltime -- tool start banner
+`)
+	if len(issues) != 0 {
+		t.Fatalf("double-dash justification reported issues: %v", issues)
+	}
+	if !idx.allows("dir.go", 3, "walltime") {
+		t.Error("trailing directive does not cover its own line")
+	}
+}
+
+func TestDirectiveUnknownRuleRejected(t *testing.T) {
+	idx, issues := parseDirectives(t, `package p
+
+//taichi:allow nosuchrule — typo'd rule name
+var x = 1
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, `unknown rule "nosuchrule"`) {
+		t.Fatalf("want one unknown-rule diagnostic, got %v", issues)
+	}
+	if idx.allows("dir.go", 4, "nosuchrule") {
+		t.Error("unknown rule name still entered the suppression set")
+	}
+}
+
+func TestDirectiveMissingJustification(t *testing.T) {
+	_, issues := parseDirectives(t, `package p
+
+//taichi:allow walltime
+var x = 1
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "no justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", issues)
+	}
+}
+
+func TestDirectiveEmptyRuleList(t *testing.T) {
+	_, issues := parseDirectives(t, `package p
+
+//taichi:allow — a reason with no rule
+var x = 1
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "names no rule") {
+		t.Fatalf("want one empty-rule-list diagnostic, got %v", issues)
+	}
+}

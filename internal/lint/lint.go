@@ -11,8 +11,8 @@
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic) but is built on the standard library
-// only, because the module is intentionally dependency-free. Five
-// analyzers ship with it:
+// only, because the module is intentionally dependency-free. Nine
+// analyzers ship with it — five per-package:
 //
 //	walltime   — forbid wall-clock reads (time.Now, time.Sleep, …)
 //	globalrand — forbid global math/rand state and env-derived seeds
@@ -20,14 +20,27 @@
 //	goroutine  — forbid concurrency primitives in the deterministic core
 //	seedflow   — exported constructors reaching randomness must take a seed
 //
+// and four whole-program, built on the interprocedural facts layer in
+// facts.go (module-wide call graph over the same loader):
+//
+//	lockorder   — consistent mutex acquisition order; guarded fields
+//	              never written outside their mutex
+//	streamdraw  — named RNG streams unique module-wide, registered, and
+//	              drawn only through deterministic control flow
+//	traceschema — trace kinds wired through trace.Kinds(), the obs
+//	              pairing table, and the audit replayer in lockstep
+//	atomicmix   — no field accessed both via sync/atomic and plainly
+//
 // A site that is legitimately exempt (for example wall-clock progress
 // timing in cmd/) opts out with a directive comment on, or directly
 // above, the offending line:
 //
 //	start := time.Now() //taichi:allow walltime — operator-facing wall-clock report
 //
-// Directives name the rule they suppress, so an allowance for walltime
-// never silences maporder. See ARCHITECTURE.md §7 for the contract.
+// Directives name the rule they suppress (several rules comma-scope
+// into one directive), must carry a justification, and may only name
+// rules that exist — malformed directives are themselves diagnostics.
+// See ARCHITECTURE.md §7 for the contract.
 package lint
 
 import (
@@ -36,7 +49,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // An Analyzer describes one determinism rule. It is deliberately
@@ -55,8 +67,15 @@ type Analyzer struct {
 
 	// Run inspects one package and reports violations through
 	// pass.Report. It must be deterministic: same package, same
-	// diagnostics, same order.
+	// diagnostics, same order. Exactly one of Run and RunProgram is
+	// set.
 	Run func(pass *Pass)
+
+	// RunProgram inspects the whole loaded program at once — the
+	// interprocedural analyzers (lockorder, streamdraw, traceschema,
+	// atomicmix) need cross-package facts a single-package pass cannot
+	// see. The same determinism bar applies.
+	RunProgram func(pass *ProgramPass)
 }
 
 // A Pass provides one analyzer run with a single type-checked package
@@ -70,6 +89,18 @@ type Pass struct {
 
 	diags      *[]Diagnostic
 	directives directiveIndex
+}
+
+// A ProgramPass provides one whole-program analyzer run with the facts
+// layer and a sink for diagnostics. Reports carry the package the
+// position belongs to so directive suppression and the core-package
+// no-escape rule keep their per-package semantics.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags      *[]Diagnostic
+	directives map[*Package]directiveIndex
 }
 
 // A Diagnostic is one rule violation at one position.
@@ -96,6 +127,21 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if !isCorePackage(p.Pkg.Path()) &&
 		p.directives.allows(position.Filename, position.Line, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report records a violation at pos in pkg, with the same directive
+// and core-package semantics as Pass.Report.
+func (p *ProgramPass) Report(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	if !isCorePackage(pkg.Path) &&
+		p.directives[pkg].allows(position.Filename, position.Line, p.Analyzer.Name) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -138,77 +184,27 @@ func (p *Pass) PkgFunc(call *ast.CallExpr, pkgPath string, names ...string) (str
 	return "", false
 }
 
-// directivePrefix introduces an allow directive. The full grammar is
-//
-//	//taichi:allow rule[,rule...] [— free-form justification]
-//
-// The justification is not parsed but its presence is the convention:
-// every allowance in this repository documents why the site is exempt.
-const directivePrefix = "taichi:allow"
-
-// directiveIndex maps filename → line → set of allowed rule names.
-type directiveIndex map[string]map[int]map[string]bool
-
-func (d directiveIndex) allows(file string, line int, rule string) bool {
-	lines := d[file]
-	if lines == nil {
-		return false
-	}
-	// A directive covers its own line and the line directly below it
-	// (i.e. a comment above the statement), mirroring //nolint and
-	// //lint:ignore placement conventions.
-	return lines[line][rule] || lines[line-1][rule]
-}
-
-func buildDirectiveIndex(fset *token.FileSet, files []*ast.File) directiveIndex {
-	idx := directiveIndex{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, directivePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
-				// Everything up to an em/double dash is the rule list;
-				// the remainder is the human justification.
-				for _, cut := range []string{"—", "--"} {
-					if i := strings.Index(rest, cut); i >= 0 {
-						rest = rest[:i]
-					}
-				}
-				pos := fset.Position(c.Pos())
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					idx[pos.Filename] = lines
-				}
-				rules := lines[pos.Line]
-				if rules == nil {
-					rules = map[string]bool{}
-					lines[pos.Line] = rules
-				}
-				for _, r := range strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				}) {
-					rules[r] = true
-				}
-			}
-		}
-	}
-	return idx
-}
-
 // Run applies every analyzer to every package and returns the combined
 // diagnostics sorted by position then analyzer name, so output is
 // stable regardless of load order — the linter holds itself to the
 // determinism bar it enforces.
+//
+// Per-package analyzers run first, once per package; whole-program
+// analyzers then run once over a Program built from all the packages
+// together. Malformed //taichi:allow directives are reported under the
+// "directive" name regardless of which analyzers run — the escape
+// hatch's own grammar is always enforced.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	directives := map[*Package]directiveIndex{}
 	for _, pkg := range pkgs {
-		idx := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		idx, issues := buildDirectiveIndex(pkg.Fset, pkg.Files)
+		directives[pkg] = idx
+		diags = append(diags, issues...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       pkg.Fset,
@@ -220,6 +216,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(pass)
 		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		a.RunProgram(&ProgramPass{
+			Analyzer:   a,
+			Prog:       prog,
+			diags:      &diags,
+			directives: directives,
+		})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -237,7 +248,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// All returns the full determinism suite in a fixed order.
+// All returns the full determinism suite in a fixed order: the
+// per-package rules first, then the whole-program rules.
 func All() []*Analyzer {
 	return []*Analyzer{
 		WallTime,
@@ -245,5 +257,9 @@ func All() []*Analyzer {
 		MapOrder,
 		Goroutine,
 		SeedFlow,
+		LockOrder,
+		StreamDraw,
+		TraceSchema,
+		AtomicMix,
 	}
 }

@@ -99,6 +99,9 @@ func newLoader(dir string) *loader {
 // list runs `go list -json` once for the given patterns and decodes the
 // concatenated JSON stream.
 func (l *loader) list(patterns []string) ([]*listedPackage, error) {
+	if err := l.resolveModule(); err != nil {
+		return nil, err
+	}
 	args := append([]string{"list", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.dir
@@ -119,16 +122,32 @@ func (l *loader) list(patterns []string) ([]*listedPackage, error) {
 		}
 		listed = append(listed, lp)
 		l.listing[lp.ImportPath] = lp
-		if l.module == "" && strings.Contains(lp.ImportPath, "/internal/") {
-			l.module = lp.ImportPath[:strings.Index(lp.ImportPath, "/internal/")]
-		}
-	}
-	if l.module == "" && len(listed) > 0 {
-		// Root-package-only pattern: the module path is the import
-		// path itself (the repo's facade package lives at the root).
-		l.module = listed[0].ImportPath
 	}
 	return listed, nil
+}
+
+// resolveModule asks the go tool for the module path once. Guessing it
+// from listed import paths (the previous approach) mis-resolved
+// narrow patterns: Load(dir, "./cmd/...") would take the first listed
+// command's import path as the module root, routing the commands'
+// internal/ imports to the stdlib importer, which cannot resolve them.
+func (l *loader) resolveModule() error {
+	if l.module != "" {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -m: %v\n%s", err, stderr.String())
+	}
+	l.module = strings.TrimSpace(string(out))
+	if l.module == "" {
+		return fmt.Errorf("go list -m reported no module path for %s", l.dir)
+	}
+	return nil
 }
 
 func (l *loader) typecheck(lp *listedPackage) (*Package, error) {

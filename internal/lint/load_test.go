@@ -1,0 +1,74 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// The loader edge cases live in testdata/loadmod, a self-contained
+// module (its own go.mod) so the parent module's patterns never see
+// it. Three contracts: build-constrained files are excluded the way
+// `go list` excludes them, test-only packages are skipped rather than
+// failed, and narrow ./cmd/... patterns still resolve internal
+// imports through the module loader.
+
+func TestLoadHonorsBuildTags(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("testdata", "loadmod"), "./internal/util")
+	if err != nil {
+		t.Fatalf("loading tagged package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want 1 file (tagged.go excluded), got %d", len(pkg.Files))
+	}
+	name := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	if name != "util.go" {
+		t.Errorf("loaded %s; the build-constrained tagged.go must be excluded", name)
+	}
+	if pkg.Types.Scope().Lookup("Tagged") != nil {
+		t.Error("Tagged is defined: the loader parsed a file go list excluded")
+	}
+}
+
+func TestLoadSkipsTestOnlyPackages(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("testdata", "loadmod"), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	paths := map[string]bool{}
+	for _, p := range pkgs {
+		paths[p.Path] = true
+	}
+	if paths["loadtest/internal/testonly"] {
+		t.Error("test-only package was loaded; packages with no GoFiles must be skipped")
+	}
+	for _, want := range []string{"loadtest/internal/util", "loadtest/cmd/tool"} {
+		if !paths[want] {
+			t.Errorf("package %s missing from ./... load", want)
+		}
+	}
+}
+
+// TestLoadNarrowCmdPattern is the regression pin for the
+// module-resolution bug: the loader used to guess the module path from
+// the first listed import path, so Load(dir, "./cmd/...") treated
+// "loadtest/cmd/tool" as the module root and routed
+// loadtest/internal/util to the stdlib importer, which cannot resolve
+// it. Resolving via `go list -m` makes narrow patterns work.
+func TestLoadNarrowCmdPattern(t *testing.T) {
+	pkgs, err := lint.Load(filepath.Join("testdata", "loadmod"), "./cmd/...")
+	if err != nil {
+		t.Fatalf("narrow ./cmd/... load failed: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "loadtest/cmd/tool" {
+		t.Fatalf("want exactly loadtest/cmd/tool, got %v", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("main") == nil {
+		t.Error("cmd package type-checked without its main function")
+	}
+}

@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder enforces lock discipline across the whole module. Two
+// checks, both interprocedural over the facts-layer call graph:
+//
+//  1. Acquisition order. Every place a mutex is acquired while another
+//     is held — directly, or through any function the call graph can
+//     reach — records an ordered pair. Two mutexes acquired in both
+//     orders anywhere in the program are a potential deadlock the
+//     instant those paths run concurrently, so the pair is flagged at
+//     both sites.
+//
+//  2. Guard consistency. A struct field written at least once with its
+//     struct's mutex held is treated as guarded by that mutex; a write
+//     to the same field without the mutex (outside the constructor
+//     that freshly allocated the struct) is flagged. Half-guarded
+//     fields are data races that the race detector only catches when
+//     the bad interleaving actually happens; the lint catches the shape
+//     statically.
+//
+// The analysis is conservative in the usual lint direction: calls
+// through interfaces and stored function values contribute no edges,
+// and branch-local acquisitions are treated as sequential. The module
+// keeps mutexes out of the deterministic core entirely (the goroutine
+// rule), so in practice this rule audits internal/fleet and the cmd/
+// front-ends.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex pairs must be acquired in one global order (deadlock shape), and fields " +
+		"write-guarded by a mutex must never be written without it",
+	RunProgram: runLockOrder,
+}
+
+// lockRef is one held-lock entry: the canonical lock identity plus the
+// root object it was reached through (s in s.mu.Lock()), for matching
+// guarded writes on the same instance.
+type lockRef struct {
+	id   string
+	root types.Object
+}
+
+// sitePos anchors a fact to a package and position for reporting.
+type sitePos struct {
+	pkg *Package
+	pos token.Pos
+}
+
+func (s sitePos) String() string {
+	p := s.pkg.Fset.Position(s.pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// fieldWrite is one assignment to a struct field.
+type fieldWrite struct {
+	field   string // "pkg.T.name"
+	site    sitePos
+	guards  []string // held locks on the same owner type and root instance
+	isFresh bool     // root was allocated in this function (constructor shape)
+}
+
+type lockOrderState struct {
+	pass *ProgramPass
+	// acquires is the transitive may-acquire closure per function.
+	acquires map[*types.Func]map[string]bool
+	// pairs maps (heldID, acquiredID) to the first site exhibiting it.
+	pairs map[[2]string]sitePos
+	// pairOrder keeps insertion order of pair keys for deterministic
+	// reporting.
+	pairOrder [][2]string
+	writes    []fieldWrite
+}
+
+func runLockOrder(pass *ProgramPass) {
+	st := &lockOrderState{
+		pass:  pass,
+		pairs: map[[2]string]sitePos{},
+	}
+	st.acquires = pass.Prog.Closure(func(fi *FuncInfo) []string {
+		var ids []string
+		if fi.Decl.Body == nil {
+			return nil
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if ref, kind := lockCall(fi.Pkg, call); kind == "Lock" || kind == "RLock" {
+					ids = append(ids, ref.id)
+				}
+			}
+			return true
+		})
+		return ids
+	})
+	for _, fi := range pass.Prog.Functions() {
+		if fi.Decl.Body != nil {
+			w := &lockWalker{st: st, fi: fi, fresh: freshLocals(fi)}
+			w.stmts(fi.Decl.Body.List)
+		}
+	}
+	st.reportOrderInversions()
+	st.reportGuardBreaches()
+}
+
+// lockCall classifies a call as a mutex operation: it returns the lock
+// reference and one of "Lock", "RLock", "Unlock", "RUnlock", or "" for
+// non-mutex calls. Only sync.Mutex / sync.RWMutex methods qualify.
+func lockCall(pkg *Package, call *ast.CallExpr) (lockRef, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockRef{}, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockRef{}, ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockRef{}, ""
+	}
+	if n, ok := deref(recv.Type()).(*types.Named); !ok ||
+		(n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		return lockRef{}, ""
+	}
+	return lockIdentity(pkg, sel.X), fn.Name()
+}
+
+// lockIdentity canonicalizes the expression the mutex was reached
+// through. `s.mu` on a *Pool receiver becomes "pkg.Pool.mu"; a
+// package-level `var mu sync.Mutex` becomes "pkg.mu"; locals fall back
+// to a function-scoped name.
+func lockIdentity(pkg *Package, x ast.Expr) lockRef {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		base := pkg.Info.Types[x.X]
+		if n, ok := deref(base.Type).(*types.Named); ok {
+			return lockRef{
+				id:   typeID(n) + "." + x.Sel.Name,
+				root: rootObject(pkg, x.X),
+			}
+		}
+		return lockRef{id: exprPath(x), root: rootObject(pkg, x.X)}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Parent() == v.Pkg().Scope() {
+				return lockRef{id: v.Pkg().Path() + "." + v.Name(), root: v}
+			}
+			// A named-struct value with an embedded mutex, or a local
+			// mutex variable.
+			if n, ok := deref(v.Type()).(*types.Named); ok && n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex" {
+				return lockRef{id: typeID(n) + ".(embedded)", root: v}
+			}
+			return lockRef{id: "local." + v.Pkg().Path() + "." + v.Name(), root: v}
+		}
+	}
+	return lockRef{id: exprPath(x)}
+}
+
+// typeID renders a named type as "pkgpath.Name".
+func typeID(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// rootObject returns the object of the deepest identifier in a
+// selector chain (s in s.stats.count), or nil.
+func rootObject(pkg *Package, x ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(x).(type) {
+		case *ast.SelectorExpr:
+			x = e.X
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[e]
+		default:
+			return nil
+		}
+	}
+}
+
+// freshLocals collects the local variables a function initializes from
+// a composite literal or new() — the constructor shape. Writes through
+// them before the value escapes are exempt from the guard check.
+func freshLocals(fi *FuncInfo) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	isAlloc := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+				return ok
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+				_, isBuiltin := fi.Pkg.Info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+		return false
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || !isAlloc(as.Rhs[i]) {
+				continue
+			}
+			if obj := fi.Pkg.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// lockWalker tracks the held-lock stack through a function body in
+// source order. Branch bodies share the sequential held state — the
+// usual lint approximation: an unbalanced acquire inside a branch is
+// itself a shape worth flagging downstream.
+type lockWalker struct {
+	st    *lockOrderState
+	fi    *FuncInfo
+	fresh map[types.Object]bool
+	held  []lockRef
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			w.write(lhs)
+		}
+	case *ast.IncDecStmt:
+		w.write(s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock holds the lock to function end: no pop. Any
+		// other deferred work runs with an unknown held set; its lock
+		// effects are covered by the call-graph closure, not the walk.
+	case *ast.GoStmt:
+		// The goroutine starts with its own empty held set; its body's
+		// acquisitions surface when its function is walked (declared
+		// functions) or are out of scope (literals).
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmts(s.Body.List)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.SendStmt:
+		// No lock-relevant structure beyond expressions we skip.
+	}
+}
+
+// expr scans an expression for mutex operations and call sites, in
+// source order, without descending into function literals (they run at
+// an unknown time with an unknown held set).
+func (w *lockWalker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ref, kind := lockCall(w.fi.Pkg, call)
+		switch kind {
+		case "Lock", "RLock":
+			for _, h := range w.held {
+				if h.id != ref.id {
+					w.st.addPair(h.id, ref.id, sitePos{w.fi.Pkg, call.Pos()})
+				}
+			}
+			w.held = append(w.held, ref)
+			return false
+		case "Unlock", "RUnlock":
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i].id == ref.id {
+					w.held = append(w.held[:i], w.held[i+1:]...)
+					break
+				}
+			}
+			return false
+		}
+		// A plain call while holding locks: everything the callee may
+		// transitively acquire forms an ordered pair with each held lock.
+		if len(w.held) > 0 {
+			if callee := calleeOf(w.fi.Pkg, call); callee != nil {
+				for _, acquired := range sortedFacts(w.st.acquires[callee]) {
+					for _, h := range w.held {
+						if h.id != acquired {
+							w.st.addPair(h.id, acquired, sitePos{w.fi.Pkg, call.Pos()})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// write records a field assignment with the currently matching guards.
+func (w *lockWalker) write(lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := w.fi.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return
+	}
+	base := w.fi.Pkg.Info.Types[sel.X]
+	named, ok := deref(base.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	// A mutex field assignment is not a guarded-data write.
+	if n, ok := deref(obj.Type()).(*types.Named); ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" {
+		return
+	}
+	root := rootObject(w.fi.Pkg, sel.X)
+	var guards []string
+	for _, h := range w.held {
+		if h.root != nil && h.root == root && ownerType(h.id) == typeID(named) {
+			guards = append(guards, h.id)
+		}
+	}
+	w.st.writes = append(w.st.writes, fieldWrite{
+		field:   typeID(named) + "." + sel.Sel.Name,
+		site:    sitePos{w.fi.Pkg, sel.Pos()},
+		guards:  guards,
+		isFresh: root != nil && w.fresh[root],
+	})
+}
+
+// ownerType strips the field component from a lock id ("pkg.T.mu" →
+// "pkg.T").
+func ownerType(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '.' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+func (st *lockOrderState) addPair(first, second string, site sitePos) {
+	key := [2]string{first, second}
+	if _, seen := st.pairs[key]; seen {
+		return
+	}
+	st.pairs[key] = site
+	st.pairOrder = append(st.pairOrder, key)
+}
+
+func (st *lockOrderState) reportOrderInversions() {
+	keys := append([][2]string{}, st.pairOrder...)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		rev := [2]string{key[1], key[0]}
+		revSite, inverted := st.pairs[rev]
+		if !inverted || key[0] > key[1] {
+			// Report each unordered pair once, from its
+			// lexically-first orientation.
+			continue
+		}
+		site := st.pairs[key]
+		st.pass.Report(site.pkg, site.pos,
+			"mutex %s is acquired while holding %s here, but the opposite order occurs at %s — pick one global acquisition order (potential deadlock)",
+			key[1], key[0], revSite)
+		st.pass.Report(revSite.pkg, revSite.pos,
+			"mutex %s is acquired while holding %s here, but the opposite order occurs at %s — pick one global acquisition order (potential deadlock)",
+			key[0], key[1], site)
+	}
+}
+
+func (st *lockOrderState) reportGuardBreaches() {
+	guardedBy := map[string]fieldWrite{} // field → first guarded write
+	for _, w := range st.writes {
+		if len(w.guards) > 0 {
+			if _, seen := guardedBy[w.field]; !seen {
+				guardedBy[w.field] = w
+			}
+		}
+	}
+	for _, w := range st.writes {
+		if len(w.guards) > 0 || w.isFresh {
+			continue
+		}
+		g, guarded := guardedBy[w.field]
+		if !guarded {
+			continue
+		}
+		st.pass.Report(w.site.pkg, w.site.pos,
+			"field %s is written under %s at %s but written here without it — half-guarded fields race",
+			w.field, g.guards[0], g.site)
+	}
+}

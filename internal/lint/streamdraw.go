@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// StreamDraw audits the named-RNG-stream discipline that underpins
+// replay. Every workload, fault injector, and harness derives its
+// randomness as `provider.Stream("name")` — an FNV-keyed substream of
+// the experiment seed — so draw sequences are a pure function of
+// (seed, name, draw index). Three things can silently break that:
+//
+//  1. Duplicate names. Two sites deriving the same name from the same
+//     seed get the *identical* bit sequence — supposedly independent
+//     workloads become perfectly correlated, which no test notices
+//     because each run is still internally deterministic. Names (and
+//     fmt.Sprintf format families) must be unique module-wide and
+//     compile-time constant, and each must be listed in the
+//     sim.StreamNames registry so the full namespace is reviewable in
+//     one place.
+//
+//  2. Unregistered or dead names. A draw site whose name is missing
+//     from the registry, or a registry entry nothing derives, means the
+//     declared namespace and the real one have drifted.
+//
+//  3. Nondeterministic reachability. A draw (a Stream derivation or
+//     any call that transitively reaches a *rand.Rand method) inside a
+//     channel select arm, a map-range body, or a branch conditioned on
+//     the wall clock consumes a different draw index on every run —
+//     replay is gone even though every individual draw is seeded.
+//
+// Calls that merely forward a name parameter (platform.Node.Stream →
+// sim.RNG.Stream) are ignored; the originating call sites carry the
+// names.
+var StreamDraw = &Analyzer{
+	Name: "streamdraw",
+	Doc: "named RNG stream derivations must use unique, registered, compile-time-constant " +
+		"names and be reachable only through deterministic control flow",
+	RunProgram: runStreamDraw,
+}
+
+// streamSite is one resolved Stream derivation.
+type streamSite struct {
+	name string // literal name, or the Sprintf format for families
+	site sitePos
+}
+
+func runStreamDraw(pass *ProgramPass) {
+	prog := pass.Prog
+
+	// Pass 1: collect every Stream derivation site, flagging
+	// non-constant names as we go.
+	var sites []streamSite
+	for _, fi := range prog.Functions() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		fi := fi
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isStreamDerivation(fi.Pkg, call) {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if forwardsParam(fi, arg) {
+				return true
+			}
+			if name, ok := constantString(fi.Pkg, arg); ok {
+				sites = append(sites, streamSite{name, sitePos{fi.Pkg, call.Pos()}})
+				return true
+			}
+			if format, ok := sprintfFamily(fi.Pkg, arg); ok {
+				sites = append(sites, streamSite{format, sitePos{fi.Pkg, call.Pos()}})
+				return true
+			}
+			if names, ok := localNameSet(fi, arg); ok {
+				// A local resolvable to a closed set of constant
+				// families (stream := Sprintf("vm%d", id); if retry {
+				// stream = Sprintf("vm%d.retry%d", …) }) is one site
+				// deriving each family.
+				for _, name := range names {
+					sites = append(sites, streamSite{name, sitePos{fi.Pkg, call.Pos()}})
+				}
+				return true
+			}
+			pass.Report(fi.Pkg, call.Pos(),
+				"stream name is not a compile-time constant (or fmt.Sprintf of one); dynamic names cannot be audited for uniqueness")
+			return true
+		})
+	}
+
+	// Uniqueness: module-wide, counting a Sprintf family as one name.
+	first := map[string]sitePos{}
+	for _, s := range sites {
+		if prev, dup := first[s.name]; dup {
+			pass.Report(s.site.pkg, s.site.pos,
+				"stream name %q is already derived at %s — same seed, same name means identical draw sequences, so these streams are silently correlated",
+				s.name, prev)
+			continue
+		}
+		first[s.name] = s.site
+	}
+
+	// Registry: when the program declares a StreamNames registry (the
+	// repo's lives in internal/sim), every derived name must appear in
+	// it and every entry must be derived somewhere.
+	if entries, entryPos, ok := streamRegistry(prog); ok {
+		for _, s := range sites {
+			if _, listed := entries[s.name]; !listed {
+				pass.Report(s.site.pkg, s.site.pos,
+					"stream name %q is not listed in the StreamNames registry — add it so the namespace stays reviewable in one place", s.name)
+			}
+		}
+		derived := map[string]bool{}
+		for _, s := range sites {
+			derived[s.name] = true
+		}
+		for _, name := range sortedFacts(entries) {
+			if !derived[name] {
+				pass.Report(entryPos[name].pkg, entryPos[name].pos,
+					"registered stream %q is never derived — remove the dead entry or wire the stream up", name)
+			}
+		}
+	}
+
+	// Nondeterministic reachability: which functions transitively reach
+	// a randomness draw.
+	draws := prog.Closure(func(fi *FuncInfo) []string {
+		if fi.Decl.Body == nil {
+			return nil
+		}
+		found := false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if isStreamDerivation(fi.Pkg, call) || isRandDraw(fi.Pkg, call) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return []string{"draw"}
+		}
+		return nil
+	})
+	reported := map[token.Pos]bool{}
+	for _, fi := range prog.Functions() {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		checkNondetRegions(pass, fi, draws, reported)
+	}
+}
+
+// isStreamDerivation reports whether call derives a named stream: any
+// call — method, function value, or interface method — with signature
+// func(string) *rand.Rand.
+func isStreamDerivation(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 || sig.Variadic() {
+		return false
+	}
+	b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.String {
+		return false
+	}
+	return isRandRand(sig.Results().At(0).Type())
+}
+
+// isRandRand reports whether t is *math/rand.Rand (or rand.Rand).
+func isRandRand(t types.Type) bool {
+	n, ok := deref(t).(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "math/rand" && n.Obj().Name() == "Rand"
+}
+
+// isRandDraw reports whether call invokes a *rand.Rand method — an
+// actual consumption of stream state.
+func isRandDraw(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isRandRand(recv.Type())
+}
+
+// forwardsParam reports whether the name argument is a string parameter
+// of the enclosing function — the wrapper shape (Node.Stream calls
+// RNG.Stream(name)) that merely forwards a caller's name.
+func forwardsParam(fi *FuncInfo, arg ast.Expr) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := fi.Pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	sig := fi.Fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// constantString extracts a compile-time-constant string value.
+func constantString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// sprintfFamily matches fmt.Sprintf(constFormat, ...) and returns the
+// format as the family name: "bg.net%d" is one auditable namespace
+// entry covering every index.
+func sprintfFamily(pkg *Package, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+		return "", false
+	}
+	return constantString(pkg, call.Args[0])
+}
+
+// localNameSet resolves a local string variable whose every assignment
+// in the enclosing function is a constant string or a constant-format
+// Sprintf. The result is the sorted set of families the variable can
+// hold — still a statically auditable namespace. Any unresolvable
+// assignment disqualifies the variable.
+func localNameSet(fi *FuncInfo, arg ast.Expr) ([]string, bool) {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := fi.Pkg.Info.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Parent() == v.Pkg().Scope() {
+		return nil, false
+	}
+	names := map[string]bool{}
+	resolvable := true
+	assigned := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || !resolvable {
+			return resolvable
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := fi.Pkg.Info.Defs[lid]
+			if lobj == nil {
+				lobj = fi.Pkg.Info.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			assigned = true
+			if i >= len(as.Rhs) {
+				resolvable = false // multi-value assignment
+				return false
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if s, ok := constantString(fi.Pkg, rhs); ok {
+				names[s] = true
+			} else if f, ok := sprintfFamily(fi.Pkg, rhs); ok {
+				names[f] = true
+			} else {
+				resolvable = false
+				return false
+			}
+		}
+		return true
+	})
+	if !resolvable || !assigned {
+		return nil, false
+	}
+	return sortedFacts(names), true
+}
+
+// streamRegistry locates a package-level `var StreamNames = []string{…}`
+// declaration and returns its entries. Duplicate entries are reported
+// by the caller via uniqueness of derivations; here the last position
+// wins (entries are expected unique).
+func streamRegistry(prog *Program) (map[string]bool, map[string]sitePos, bool) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "StreamNames" || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						entries := map[string]bool{}
+						pos := map[string]sitePos{}
+						for _, elt := range lit.Elts {
+							if s, ok := constantString(pkg, elt); ok {
+								entries[s] = true
+								pos[s] = sitePos{pkg, elt.Pos()}
+							}
+						}
+						return entries, pos, true
+					}
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// checkNondetRegions flags draws inside nondeterministic control flow:
+// select arms, map-range bodies, and branches conditioned on the wall
+// clock.
+func checkNondetRegions(pass *ProgramPass, fi *FuncInfo, draws map[*types.Func]map[string]bool, reported map[token.Pos]bool) {
+	flag := func(region ast.Node, why string) {
+		ast.Inspect(region, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var drawKind string
+			switch {
+			case isStreamDerivation(fi.Pkg, call):
+				drawKind = "stream derivation"
+			case isRandDraw(fi.Pkg, call):
+				drawKind = "RNG draw"
+			default:
+				if callee := calleeOf(fi.Pkg, call); callee != nil && len(draws[callee]) > 0 {
+					drawKind = "call reaching an RNG draw (" + callee.Name() + ")"
+				}
+			}
+			if drawKind == "" || reported[call.Pos()] {
+				return true
+			}
+			reported[call.Pos()] = true
+			pass.Report(fi.Pkg, call.Pos(),
+				"%s inside %s — the draw index depends on runtime interleaving, so the stream no longer replays from the seed", drawKind, why)
+			return true
+		})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			flag(n.Body, "a channel select arm")
+		case *ast.RangeStmt:
+			if tv, ok := fi.Pkg.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					flag(n.Body, "a map-range body (randomized visit order)")
+				}
+			}
+		case *ast.IfStmt:
+			if condReadsWallClock(fi.Pkg, n.Cond) {
+				flag(n.Body, "a branch conditioned on the wall clock")
+				if n.Else != nil {
+					flag(n.Else, "a branch conditioned on the wall clock")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// condReadsWallClock reports whether the expression calls into package
+// time (Now, Since, Until, …).
+func condReadsWallClock(pkg *Package, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

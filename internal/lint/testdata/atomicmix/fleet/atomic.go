@@ -1,0 +1,43 @@
+// Package fleet exercises the atomicmix analyzer: fields reached both
+// through sync/atomic and through plain loads or stores. Atomic-only
+// and plain-only fields, composite-literal construction, and
+// address-taking must stay silent.
+package fleet
+
+import "sync/atomic"
+
+type gauge struct {
+	hits  int64
+	safe  int64
+	plain int64
+}
+
+// bump establishes gauge.hits as atomically accessed.
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// read mixes in a plain load of the same field: a torn or stale read
+// the race detector only catches when the interleaving fires.
+func (g *gauge) read() int64 {
+	return g.hits // want `hits is accessed via sync/atomic at .* but read/written plainly here`
+}
+
+// safe is only ever touched atomically.
+func (g *gauge) safeBump()       { atomic.AddInt64(&g.safe, 1) }
+func (g *gauge) safeRead() int64 { return atomic.LoadInt64(&g.safe) }
+
+// plain is only ever touched plainly.
+func (g *gauge) plainBump() { g.plain++ }
+
+// newGauge initializes via a composite literal: construction precedes
+// sharing, so the keyed write is not a mixed access.
+func newGauge() *gauge {
+	return &gauge{hits: 3}
+}
+
+// handoff takes the field's address without dereferencing: the pointer
+// may legitimately feed another atomic operation.
+func handoff(g *gauge) *int64 {
+	return &g.hits
+}

@@ -1,0 +1,10 @@
+// Command tool exercises narrow-pattern loading: under
+// Load(dir, "./cmd/..."), its internal import must resolve through the
+// module loader, not the stdlib importer — which requires the loader
+// to learn the module path from `go list -m`, not from the first
+// listed package.
+package main
+
+import "loadtest/internal/util"
+
+func main() { _ = util.Base() }

@@ -1,0 +1,8 @@
+// Package testonly holds nothing but a test file: `go list` reports it
+// with no GoFiles, and the loader must skip it rather than fail on an
+// empty package.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

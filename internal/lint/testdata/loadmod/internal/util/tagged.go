@@ -1,0 +1,9 @@
+//go:build taggedbuild
+
+// This file only exists under the taggedbuild tag: the loader must
+// honor `go list`'s build-tag filtering and never parse it.
+package util
+
+// Tagged shadows nothing; its presence in a loaded package means the
+// loader ignored the build constraint.
+func Tagged() int { return 2 }

@@ -1,0 +1,6 @@
+// Package util is the loader-fixture library: one unconditional file
+// plus one behind a build tag.
+package util
+
+// Base is defined unconditionally.
+func Base() int { return 1 }

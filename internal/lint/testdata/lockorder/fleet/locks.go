@@ -1,0 +1,92 @@
+// Package fleet exercises the lockorder analyzer: acquisition-order
+// inversions (direct and through the call graph) and half-guarded
+// struct fields. Negative cases — consistent ordering, deferred
+// unlocks, constructor writes — must stay silent.
+package fleet
+
+import "sync"
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+// ab and ba acquire the same two locks in opposite orders: the direct
+// inversion shape. Both sites are flagged.
+func ab() {
+	muA.Lock()
+	muB.Lock() // want `mutex .*muB is acquired while holding .*muA here, but the opposite order occurs at`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock() // want `mutex .*muA is acquired while holding .*muB here, but the opposite order occurs at`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// abAgain repeats ab's order: consistent with the first recording, so
+// no additional diagnostic.
+func abAgain() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+var muC sync.Mutex
+var muD sync.Mutex
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+// cThenD never touches muD syntactically — the inversion is only
+// visible through the call graph (lockD's may-acquire closure).
+func cThenD() {
+	muC.Lock()
+	lockD() // want `mutex .*muD is acquired while holding .*muC here, but the opposite order occurs at`
+	muC.Unlock()
+}
+
+func dThenC() {
+	muD.Lock()
+	muC.Lock() // want `mutex .*muC is acquired while holding .*muD here, but the opposite order occurs at`
+	muC.Unlock()
+	muD.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inc establishes counter.n as guarded by counter.mu.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get writes under a deferred unlock: the lock is held to function
+// end, so the write is guarded.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// reset writes the guarded field without the mutex.
+func (c *counter) reset() {
+	c.n = 0 // want `field .*counter\.n is written under .*counter\.mu at .* but written here without it`
+}
+
+// newCounter writes to a freshly allocated value before it escapes:
+// the constructor shape is exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	return c
+}

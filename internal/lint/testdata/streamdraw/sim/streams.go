@@ -1,0 +1,73 @@
+// Package sim exercises the streamdraw analyzer: duplicate and
+// unregistered stream names, non-constant names, dead registry
+// entries, and draws reachable only through nondeterministic control
+// flow. Forwarding wrappers, Sprintf families, and closed local name
+// sets must stay silent.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// StreamNames is the fixture's registry.
+var StreamNames = []string{
+	"alpha",
+	"sel",
+	"vm%d",
+	"vm%d.retry",
+	"ghost", // want `registered stream "ghost" is never derived`
+}
+
+// RNG is the derivation root; Stream's func(string) *rand.Rand
+// signature is what the analyzer keys on.
+type RNG struct{ seed int64 }
+
+func (r *RNG) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(r.seed + int64(len(name))))
+}
+
+// Node.Stream forwards its own parameter: the wrapper shape carries no
+// name of its own, so the analyzer charges the caller, not this site.
+type Node struct{ rng RNG }
+
+func (n *Node) Stream(name string) *rand.Rand { return n.rng.Stream(name) }
+
+func derives(r *RNG) {
+	_ = r.Stream("alpha")
+	_ = r.Stream("alpha") // want `stream name "alpha" is already derived at .* silently correlated`
+	_ = r.Stream("beta")  // want `stream name "beta" is not listed in the StreamNames registry`
+	name := pick()
+	_ = r.Stream(name) // want `stream name is not a compile-time constant`
+}
+
+func pick() string { return "dyn" }
+
+// families resolves a local variable to a closed set of constant
+// Sprintf families — statically auditable, so no diagnostic.
+func families(r *RNG, id int, retry bool) {
+	stream := fmt.Sprintf("vm%d", id)
+	if retry {
+		stream = fmt.Sprintf("vm%d.retry", id)
+	}
+	_ = r.Stream(stream)
+}
+
+func nondet(r *RNG, ch chan int, weights map[string]int) {
+	rng := r.Stream("sel")
+	select {
+	case <-ch:
+		rng.Intn(3) // want `RNG draw inside a channel select arm`
+	}
+	total := 0
+	for _, w := range weights {
+		total += w + rng.Intn(2) // want `RNG draw inside a map-range body \(randomized visit order\)`
+	}
+	if time.Now().Unix()%2 == 0 {
+		burn(rng) // want `call reaching an RNG draw \(burn\) inside a branch conditioned on the wall clock`
+	}
+	_ = total
+}
+
+func burn(rng *rand.Rand) { rng.Float64() }

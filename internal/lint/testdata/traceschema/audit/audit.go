@@ -1,0 +1,16 @@
+// Package audit mirrors the replayer role: a kind is wired either by
+// the handled path or by the explicit out-of-scope set — both count as
+// references, exactly like the real replayer's switch and its
+// replayOutOfScope map.
+package audit
+
+import "repro/internal/trace"
+
+var outOfScope = map[trace.Kind]bool{trace.KindScoped: true}
+
+func Handled(k trace.Kind) bool {
+	if k == trace.KindGood {
+		return true
+	}
+	return outOfScope[k]
+}

@@ -1,0 +1,12 @@
+// Package kernel mirrors an emitting model: any reference outside the
+// trace/obs/audit trio counts as an emission and must be matched by
+// both consumers.
+package kernel
+
+import "repro/internal/trace"
+
+func Emit(sink func(trace.Kind)) {
+	sink(trace.KindGood)
+	sink(trace.KindScoped)
+	sink(trace.KindOrphan) // want `trace kind KindOrphan is emitted here but the obs span-deriver never references it` `trace kind KindOrphan is emitted here but the audit replayer never references it`
+}

@@ -1,0 +1,13 @@
+// Package obs mirrors the span-deriver role: referencing a kind here
+// marks it as wired into the pairing table.
+package obs
+
+import "repro/internal/trace"
+
+func Pairs(k trace.Kind) bool {
+	switch k {
+	case trace.KindGood, trace.KindScoped:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,35 @@
+// Package trace is the schema package of the traceschema fixture: the
+// Kind type, its constants, and the kindNames map that Kinds() and the
+// exporter iterate. The analyzer locates this package structurally
+// (package named "trace" defining type Kind), exactly as it finds the
+// real one.
+package trace
+
+type Kind uint8
+
+const (
+	KindNone Kind = iota
+	KindGood
+	KindScoped
+	KindOrphan
+	KindDead    // want `trace kind KindDead is declared but never referenced outside package trace`
+	KindUnnamed // want `trace kind KindUnnamed has no kindNames entry` `trace kind KindUnnamed is declared but never referenced outside package trace`
+)
+
+var kindNames = map[Kind]string{
+	KindGood:   "good",
+	KindScoped: "scoped",
+	KindOrphan: "orphan",
+	KindDead:   "dead",
+}
+
+// Kinds returns the named kinds.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kindNames))
+	for k := Kind(0); int(k) < len(kindNames)+2; k++ {
+		if _, ok := kindNames[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}

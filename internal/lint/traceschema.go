@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// TraceSchema keeps the trace-event schema and its three consumers in
+// lockstep. A trace kind is born in package trace (a Kind constant plus
+// a kindNames entry, which is what Kinds(), String(), and the exporter
+// iterate); it is then consumed by the obs span-deriver's pairing table
+// and replayed (or explicitly declared out of scope) by the audit
+// invariant checker. Historically these drifted independently: a kind
+// added to the schema and emitted by the scheduler would silently fall
+// through obs (no span) or audit (no invariant), and nothing failed.
+// This rule makes the wiring build-breaking:
+//
+//   - every Kind constant must have a kindNames entry (or Kinds() and
+//     the export schema never see it);
+//   - every kind referenced outside trace/obs/audit — emitted by a
+//     model or configured by platform — must be referenced by the obs
+//     pairing table AND by the audit replayer (its handled switch or
+//     its explicit out-of-scope declaration);
+//   - every kind must actually be referenced outside package trace,
+//     or it is dead schema.
+//
+// The packages are located structurally (a package named "trace"
+// defining type Kind; packages named "obs" and "audit") so fixtures can
+// model the same topology.
+var TraceSchema = &Analyzer{
+	Name: "traceschema",
+	Doc: "trace kinds must be wired through kindNames, the obs pairing table, and the " +
+		"audit replayer together; drift between schema and consumers is an error",
+	RunProgram: runTraceSchema,
+}
+
+func runTraceSchema(pass *ProgramPass) {
+	tracePkg, kindType := findTracePackage(pass.Prog)
+	if tracePkg == nil {
+		// No trace-shaped package in this load (partial pattern) —
+		// nothing to cross-check.
+		return
+	}
+
+	// Declared kinds: every non-zero constant of the Kind type, in
+	// declaration (value) order.
+	type kindConst struct {
+		obj *types.Const
+		pos token.Pos
+	}
+	var declared []kindConst
+	scope := tracePkg.Types.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Type() != kindType {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok && v == 0 {
+			continue // the zero sentinel (KindNone) is not schema
+		}
+		declared = append(declared, kindConst{c, c.Pos()})
+	}
+	sort.Slice(declared, func(i, j int) bool {
+		vi, _ := constant.Int64Val(declared[i].obj.Val())
+		vj, _ := constant.Int64Val(declared[j].obj.Val())
+		return vi < vj
+	})
+
+	named := kindNamesKeys(tracePkg)
+
+	// Reference scan: which packages mention each kind constant.
+	type kindUses struct {
+		obs, audit bool
+		emitted    bool
+		emitSite   sitePos
+	}
+	uses := map[*types.Const]*kindUses{}
+	for _, kc := range declared {
+		uses[kc.obj] = &kindUses{}
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		if pkg == tracePkg {
+			continue
+		}
+		role := pkg.Types.Name()
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				c, ok := pkg.Info.Uses[id].(*types.Const)
+				if !ok {
+					return true
+				}
+				u, tracked := uses[c]
+				if !tracked {
+					return true
+				}
+				switch role {
+				case "obs":
+					u.obs = true
+				case "audit":
+					u.audit = true
+				default:
+					if !u.emitted {
+						u.emitted = true
+						u.emitSite = sitePos{pkg, id.Pos()}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, kc := range declared {
+		u := uses[kc.obj]
+		if !named[kc.obj] {
+			pass.Report(tracePkg, kc.pos,
+				"trace kind %s has no kindNames entry — Kinds(), String(), and the export schema will not see it", kc.obj.Name())
+		}
+		if !u.emitted && !u.obs && !u.audit {
+			pass.Report(tracePkg, kc.pos,
+				"trace kind %s is declared but never referenced outside package trace — dead schema", kc.obj.Name())
+			continue
+		}
+		if !u.emitted {
+			continue
+		}
+		if !u.obs {
+			pass.Report(u.emitSite.pkg, u.emitSite.pos,
+				"trace kind %s is emitted here but the obs span-deriver never references it — add a push/pop/mark rule to the pairing table", kc.obj.Name())
+		}
+		if !u.audit {
+			pass.Report(u.emitSite.pkg, u.emitSite.pos,
+				"trace kind %s is emitted here but the audit replayer never references it — handle it or add it to the replayer's explicit out-of-scope set", kc.obj.Name())
+		}
+	}
+}
+
+// findTracePackage locates the schema package: package name "trace"
+// defining a named type Kind with a basic underlying type. Returns the
+// Kind type for constant matching.
+func findTracePackage(prog *Program) (*Package, types.Type) {
+	for _, pkg := range prog.Pkgs {
+		if pkg.Types.Name() != "trace" {
+			continue
+		}
+		tn, ok := pkg.Types.Scope().Lookup("Kind").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if _, ok := tn.Type().Underlying().(*types.Basic); !ok {
+			continue
+		}
+		return pkg, tn.Type()
+	}
+	return nil, nil
+}
+
+// kindNamesKeys collects the Kind constants keyed in the trace
+// package's `var kindNames = map[Kind]string{…}` declaration. A missing
+// kindNames var yields an empty set, so every kind is reported — the
+// map is itself part of the schema contract.
+func kindNamesKeys(tracePkg *Package) map[*types.Const]bool {
+	keys := map[*types.Const]bool{}
+	for _, f := range tracePkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "kindNames" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := ast.Unparen(kv.Key).(*ast.Ident); ok {
+							if c, ok := tracePkg.Info.Uses[id].(*types.Const); ok {
+								keys[c] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys
+}

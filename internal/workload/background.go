@@ -79,11 +79,14 @@ func (b *Background) Start() {
 func (b *Background) Stop() { b.stopped = true }
 
 func (b *Background) launch(core int, work sim.Duration, storage bool, idx int) {
-	name := "bg.net"
+	// Keep the two families as literal formats (not "%s%d" over a
+	// variable prefix) so the streamdraw lint can audit them against
+	// the stream registry; the derived names are unchanged.
+	stream := fmt.Sprintf("bg.net%d", idx)
 	if storage {
-		name = "bg.stor"
+		stream = fmt.Sprintf("bg.stor%d", idx)
 	}
-	r := b.node.Stream(fmt.Sprintf("%s%d", name, idx))
+	r := b.node.Stream(stream)
 
 	// Derive the calm-state rate so the long-run mean hits the target:
 	// mean = fCalm*uCalm + fBurst*uBurst, with dwell-time fractions.
