@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-race race bench bench-go bench-smoke chaos-smoke audit-smoke
+.PHONY: check fmt vet lint build test test-race race bench bench-go bench-smoke chaos-smoke audit-smoke overload-smoke
 
-check: fmt vet lint build test-race bench-smoke audit-smoke
+check: fmt vet lint build test-race bench-smoke audit-smoke overload-smoke
 
 # Determinism lint: wall clocks, global RNG, unordered map iteration,
 # core concurrency, and seedless constructors. Zero diagnostics is the
@@ -74,6 +74,18 @@ bench-smoke:
 audit-smoke:
 	$(GO) run ./cmd/taichi-sim -mode taichi -workload crr -dur 200ms -faults default -recover -audit > /dev/null
 	$(GO) test -count=1 -run 'TestAuditorCertifiesPinnedScenarios|TestChaosRecoveryReconverges|TestRecoveryLadderFlapping' . ./internal/experiments ./internal/core
+
+# Overload-control gate: an overloaded, admission-gated run must end
+# with zero audit violations (taichi-sim exits non-zero otherwise), the
+# overload acceptance sweep must hold — latency-critical goodput
+# protected at 4x, batch absorbing the shedding, the brownout ladder
+# de-escalating, byte-identical output across worker counts — and the
+# audit replayer's request totals must agree with the report-side
+# counters on every pinned scenario. Part of `make check` so an
+# overload-control regression fails pre-commit.
+overload-smoke:
+	$(GO) run ./cmd/taichi-sim -mode taichi -workload vmstartup -retry -overload -dur 2s -audit > /dev/null
+	$(GO) test -count=1 -run 'TestOverloadAcceptance|TestOverloadParallelDeterminism|TestAuditTotalsAgreeWithManagerCounters' .
 
 # One go-test benchmark per paper artifact plus the fleet speedup pair.
 bench-go:

@@ -31,14 +31,17 @@ func auditSys(sys *taichi.System) *audit.Report {
 
 // auditScenarios are miniature versions of the pinned experiment
 // workloads — the CP mix behind Figures 2/5, the clean and faulted
-// VM-startup lifecycles behind Figures 2/17, and the chaos-recovery
-// sweep — each returning a finished system whose trace the auditor
-// must certify violation-free.
+// VM-startup lifecycles behind Figures 2/17, the chaos-recovery sweep,
+// and the overloaded admission pipeline — each returning a finished
+// system whose trace the auditor must certify violation-free, plus the
+// cluster manager (nil for scenarios that issue no requests) so the
+// totals cross-check can compare the replayer against the report-side
+// counters.
 var auditScenarios = []struct {
 	name  string
-	build func(seed int64) *taichi.System
+	build func(seed int64) (*taichi.System, *cluster.Manager)
 }{
-	{"cpmix", func(seed int64) *taichi.System {
+	{"cpmix", func(seed int64) (*taichi.System, *cluster.Manager) {
 		sys := taichi.New(seed)
 		for m := 0; m < 6; m++ {
 			sys.SpawnCP(fmt.Sprintf("monitor%d", m),
@@ -52,19 +55,20 @@ var auditScenarios = []struct {
 		p := workload.NewPing(sys.Node, workload.DefaultPing())
 		p.Start(nil)
 		sys.Run(taichi.Milliseconds(80))
-		return sys
+		return sys, nil
 	}},
-	{"vmstartup", func(seed int64) *taichi.System {
+	{"vmstartup", func(seed int64) (*taichi.System, *cluster.Manager) {
 		sys := taichi.New(seed)
 		cfg := cluster.DefaultConfig(2)
 		cfg.VMs = 8
 		cfg.VMLifetime = 0
 		cfg.Retry = cluster.DefaultRetryPolicy()
-		cluster.NewManager(sys, cfg).Start()
+		mgr := cluster.NewManager(sys, cfg)
+		mgr.Start()
 		sys.Run(taichi.Seconds(1.2))
-		return sys
+		return sys, mgr
 	}},
-	{"vmstartup-faults", func(seed int64) *taichi.System {
+	{"vmstartup-faults", func(seed int64) (*taichi.System, *cluster.Manager) {
 		sys := taichi.New(seed)
 		inj := faults.NewInjector(faults.DefaultSpec())
 		inj.Attach(sys)
@@ -76,11 +80,12 @@ var auditScenarios = []struct {
 		cfg.Requeue = cluster.DefaultRequeuePolicy()
 		cfg.Healthy = func() bool { return sys.Sched.DefenseMode() == core.ModeNormal }
 		cfg.WrapCP = inj.WrapCP
-		cluster.NewManager(sys, cfg).Start()
+		mgr := cluster.NewManager(sys, cfg)
+		mgr.Start()
 		sys.Run(taichi.Seconds(1.2))
-		return sys
+		return sys, mgr
 	}},
-	{"chaos-recovery", func(seed int64) *taichi.System {
+	{"chaos-recovery", func(seed int64) (*taichi.System, *cluster.Manager) {
 		sys := taichi.New(seed)
 		inj := faults.NewInjector(faults.DefaultSpec())
 		inj.Attach(sys)
@@ -96,7 +101,30 @@ var auditScenarios = []struct {
 				inj.WrapCP(controlplane.SynthCP(scfg, sys.Stream(fmt.Sprintf("chaos.cp%d", j)))))
 		}
 		sys.Run(sim.Time(horizon))
-		return sys
+		return sys, nil
+	}},
+	{"overload", func(seed int64) (*taichi.System, *cluster.Manager) {
+		sys := taichi.New(seed)
+		sys.Sched.EnableOverload(taichi.DefaultOverloadPolicy())
+		bg := workload.NewBackground(sys.Node, workload.DefaultBackground(0.9))
+		bg.Start()
+		sys.Engine().At(sim.Time(300*sim.Millisecond), bg.Stop)
+		cfg := cluster.DefaultConfig(2)
+		cfg.VMs = 12
+		cfg.VMLifetime = 0
+		cfg.Retry = cluster.DefaultRetryPolicy()
+		cfg.Admission = cluster.DefaultAdmissionPolicy()
+		cfg.Classify = cluster.DefaultClassify
+		cfg.OverloadLevel = func() int { return int(sys.Sched.OverloadState()) }
+		mgr := cluster.NewManager(sys, cfg)
+		mgr.Start()
+		for step := 0; step < 40; step++ {
+			sys.Run(sys.Engine().Now().Add(250 * sim.Millisecond))
+			if int(mgr.Issued) >= cfg.VMs && mgr.Settled() {
+				break
+			}
+		}
+		return sys, mgr
 	}},
 }
 
@@ -114,7 +142,7 @@ func TestAuditorCertifiesPinnedScenarios(t *testing.T) {
 					const nodes = 2
 					lines := make([]string, nodes)
 					fleet.ForEach(nodes, workers, func(i int) {
-						sys := sc.build(fleet.MemberSeed(seed, i))
+						sys, _ := sc.build(fleet.MemberSeed(seed, i))
 						rep := auditSys(sys)
 						for _, v := range rep.Violations {
 							t.Errorf("seed %d node %d: %+v", seed, i, v)
@@ -130,6 +158,54 @@ func TestAuditorCertifiesPinnedScenarios(t *testing.T) {
 				}
 				if !strings.Contains(sequential, "violations=0") {
 					t.Fatalf("seed %d: report does not certify zero violations:\n%s", seed, sequential)
+				}
+			}
+		})
+	}
+}
+
+// TestAuditTotalsAgreeWithManagerCounters is the report/audit
+// cross-check: for every pinned scenario that runs the cluster manager,
+// the request totals the trace replayer derives must agree exactly with
+// the manager counters taichi-report renders — issued, completed,
+// dead-letter events, resurrections, sheds, and the pending remainder.
+// A drift here would mean the report and the auditor describe different
+// runs; pinning the agreement makes any future divergence a test
+// failure instead of a silent lie in one of the two.
+func TestAuditTotalsAgreeWithManagerCounters(t *testing.T) {
+	for _, sc := range auditScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{11, 12, 13} {
+				sys, mgr := sc.build(seed)
+				if mgr == nil {
+					t.Skip("scenario issues no requests")
+				}
+				rep := auditSys(sys)
+				if !rep.Ok() {
+					t.Fatalf("seed %d: audit violations: %v", seed, rep.Violations)
+				}
+				pending := 0
+				for _, req := range mgr.Requests() {
+					if !req.State().Terminal() {
+						pending++
+					}
+				}
+				want := audit.RequestTotals{
+					Issued:      int(mgr.Issued),
+					Completed:   int(mgr.Completed),
+					Dead:        int(mgr.DeadLettered()),
+					Resurrected: int(mgr.Resurrected()),
+					Shed:        int(mgr.Shed()),
+					Pending:     pending,
+				}
+				if rep.Requests != want {
+					t.Fatalf("seed %d: audit totals %+v != manager counters %+v", seed, rep.Requests, want)
+				}
+				got := rep.Requests
+				if got.Issued != got.Completed+(got.Dead-got.Resurrected)+got.Shed+got.Pending {
+					t.Fatalf("seed %d: conservation identity broken: %+v", seed, got)
 				}
 			}
 		})

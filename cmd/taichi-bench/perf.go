@@ -115,6 +115,33 @@ var perfScenarios = []perfScenario{
 			return tc.Engine().Fired(), sim.Duration(tc.Engine().Now()), vmSnapshot(tc.Engine().Fired(), mgr)
 		},
 	},
+	{
+		name: "overload",
+		desc: "Tai Chi, 3x offered load through the admission gate + brownout ladder (overload hot path)",
+		run: func() (uint64, sim.Duration, *obs.Snapshot) {
+			tc := core.NewDefault(perfSeed)
+			tc.Sched.EnableOverload(core.DefaultOverloadPolicy())
+			bg := workload.NewBackground(tc.Node, workload.DefaultBackground(0.9))
+			bg.Start()
+			tc.Engine().At(sim.Time(600*sim.Millisecond), bg.Stop)
+			cfg := cluster.DefaultConfig(3)
+			cfg.VMs = 48
+			cfg.VMLifetime = 0
+			cfg.Retry = cluster.DefaultRetryPolicy()
+			cfg.Admission = cluster.DefaultAdmissionPolicy()
+			cfg.Classify = cluster.DefaultClassify
+			cfg.OverloadLevel = func() int { return int(tc.Sched.OverloadState()) }
+			mgr := cluster.NewManager(tc, cfg)
+			mgr.Start()
+			for step := 0; step < 120; step++ {
+				tc.Run(tc.Engine().Now().Add(500 * sim.Millisecond))
+				if int(mgr.Issued) >= cfg.VMs && mgr.Settled() {
+					break
+				}
+			}
+			return tc.Engine().Fired(), sim.Duration(tc.Engine().Now()), vmSnapshot(tc.Engine().Fired(), mgr)
+		},
+	},
 }
 
 // vmSnapshot is the shared snapshot shape of the VM-startup scenarios.

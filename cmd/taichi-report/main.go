@@ -114,6 +114,9 @@ func renderResult(r result) {
 	if line := degradedLine(r.Values); line != "" {
 		fmt.Printf("> %s\n\n", line)
 	}
+	if line := overloadLine(r.Values); line != "" {
+		fmt.Printf("> %s\n\n", line)
+	}
 	for _, n := range r.Notes {
 		fmt.Printf("> %s\n\n", n)
 	}
@@ -192,6 +195,51 @@ func renderSnapshot(name string, s *obs.Snapshot) {
 		}
 		fmt.Println()
 	}
+}
+
+// overloadLine summarizes the overload sweep when the result carries
+// ovl_* values: per-class shed totals, whether the brownout ladder
+// de-escalated back to normal at every offered-load level, and the
+// latency-critical goodput protection (the highest level's goodput as a
+// fraction of its issue count). It returns "" for results without those
+// keys.
+func overloadLine(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values { //taichi:allow maporder — keys are sorted before iteration below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var levels, settled []string
+	shedBatch, shedNormal, shedLC := 0.0, 0.0, 0.0
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "ovl_final_normal_") {
+			continue
+		}
+		lvl := strings.TrimPrefix(k, "ovl_final_normal_")
+		levels = append(levels, lvl)
+		if values[k] >= 1 {
+			settled = append(settled, lvl)
+		}
+		shedBatch += values["ovl_shed_batch_"+lvl]
+		shedNormal += values["ovl_shed_normal_"+lvl]
+		shedLC += values["ovl_shed_lc_"+lvl]
+	}
+	if len(levels) == 0 {
+		return ""
+	}
+	top := levels[len(levels)-1]
+	lcIssued := values["ovl_issued_lc_"+top]
+	lcDone := values["ovl_goodput_lc_"+top]
+	lcPct := 0.0
+	if lcIssued > 0 {
+		lcPct = 100 * lcDone / lcIssued
+	}
+	ladder := fmt.Sprintf("ladder de-escalated to normal at %d/%d levels", len(settled), len(levels))
+	if len(settled) == len(levels) {
+		ladder = "ladder de-escalated to normal at every level"
+	}
+	return fmt.Sprintf("overload: shed batch=%g normal=%g latency-critical=%g; %s; latency-critical goodput at %s: %g/%g (%.0f%%)",
+		shedBatch, shedNormal, shedLC, ladder, top, lcDone, lcIssued, lcPct)
 }
 
 // outcomeLine summarizes the request-lifecycle invariant when the

@@ -37,6 +37,14 @@
 // node's defense mode and breaker). In fleet failover mode a member that
 // degraded and climbed back is reported as rejoined rather than failed.
 //
+// -overload arms the overload-control layer: the scheduler's brownout
+// ladder (normal → throttle → shed → brownout under the default
+// core.OverloadPolicy) and, with -workload vmstartup, the deterministic
+// admission gate with priority-aware load shedding
+// (cluster.DefaultAdmissionPolicy + DefaultClassify). In fleet failover
+// mode a member that ends its run browned-out is excluded from the
+// re-dispatch ring even when healthy.
+//
 // -audit replays every node's trace through the runtime invariant
 // auditor (internal/audit) after the run and exits non-zero on any
 // violation.
@@ -107,7 +115,7 @@ func newHost(mode string, seed int64) (node *platform.Node, tc *core.TaiChi, h h
 
 // build assembles the scenario for one seed; it is run once in
 // single-node mode and once per member in fleet mode.
-func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov bool, seed int64, horizon sim.Duration) (*scenario, error) {
+func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov, ovl bool, seed int64, horizon sim.Duration) (*scenario, error) {
 	sc := &scenario{}
 	var h host
 	var err error
@@ -133,6 +141,12 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov
 			return nil, fmt.Errorf("-recover requires a Tai Chi scheduler mode (taichi, type1, naive), not %q", mode)
 		}
 		sc.tc.Sched.EnableRecovery(core.DefaultRecoveryPolicy())
+	}
+	if ovl {
+		if sc.tc == nil {
+			return nil, fmt.Errorf("-overload requires a Tai Chi scheduler mode (taichi, type1, naive), not %q", mode)
+		}
+		sc.tc.Sched.EnableOverload(core.DefaultOverloadPolicy())
 	}
 
 	// Background DP load.
@@ -247,6 +261,13 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov
 			ccfg.Requeue = cluster.DefaultRequeuePolicy()
 			ccfg.Healthy = func() bool { return healthyNode(sc) }
 		}
+		if ovl {
+			// The overload layer: the admission gate + priority shedder on
+			// the manager, fed by the node's live brownout-ladder rung.
+			ccfg.Admission = cluster.DefaultAdmissionPolicy()
+			ccfg.Classify = cluster.DefaultClassify
+			ccfg.OverloadLevel = func() int { return int(sc.tc.Sched.OverloadState()) }
+		}
 		if sc.inj != nil {
 			ccfg.WrapCP = sc.inj.WrapCP
 		}
@@ -257,8 +278,23 @@ func build(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov
 			fmt.Printf("vmstartup: %s\n", m.Outcomes.String())
 			fmt.Printf("vmstartup: startup mean %v p99 %v (SLO %v)\n",
 				m.StartupTime.Mean(), m.StartupTime.Quantile(0.99), ccfg.StartupSLO)
+			if ovl {
+				sh := m.ShedByClass()
+				fmt.Printf("vmstartup: shed batch=%d normal=%d latency-critical=%d queued=%d\n",
+					sh[cluster.PriorityBatch], sh[cluster.PriorityNormal],
+					sh[cluster.PriorityLatencyCritical], m.QueuedAdmission())
+			}
 		}
-		sc.collect = func(a *fleet.Aggregates) { collectVMs(a, m) }
+		sc.collect = func(a *fleet.Aggregates) {
+			collectVMs(a, m)
+			if ovl {
+				sh := m.ShedByClass()
+				a.Add("vm.shed", float64(m.Shed()))
+				a.Add("vm.shed_batch", float64(sh[cluster.PriorityBatch]))
+				a.Add("vm.shed_normal", float64(sh[cluster.PriorityNormal]))
+				a.Add("vm.shed_lc", float64(sh[cluster.PriorityLatencyCritical]))
+			}
+		}
 	default:
 		return nil, fmt.Errorf("unknown workload %q", wl)
 	}
@@ -312,6 +348,17 @@ func rejoinedNode(sc *scenario) bool {
 		return false
 	}
 	return sc.tc.Sched.RecoveryStats().Rejoined && healthyNode(sc)
+}
+
+// brownedOutNode reports a member that ended its run on the brownout
+// rung — fleet.RunFailover excludes it from the re-dispatch ring even
+// when its defenses held (re-dispatching onto a node that is shedding
+// its own load would defeat the brownout).
+func brownedOutNode(sc *scenario) bool {
+	if sc.tc == nil {
+		return false
+	}
+	return sc.tc.Sched.OverloadState() == core.OverloadBrownout
 }
 
 // auditNode replays the node's trace through the runtime invariant
@@ -385,6 +432,7 @@ func main() {
 	faultsFlag := flag.String("faults", "off", "fault-injection spec: off | default | key=value,... (see internal/faults.ParseSpec)")
 	retry := flag.Bool("retry", false, "enable per-request deadlines, retries and dead-lettering for -workload vmstartup")
 	recov := flag.Bool("recover", false, "arm the self-healing layer: scheduler de-escalation ladder, and (with -retry -workload vmstartup) the health-gated dead-letter requeue")
+	overload := flag.Bool("overload", false, "arm the overload-control layer: the core brownout ladder, and (with -workload vmstartup) the priority-aware admission gate and shedder")
 	auditFlag := flag.Bool("audit", false, "replay every node's trace through the runtime invariant auditor after the run; exit 1 on any violation")
 	failover := flag.Bool("failover", false, "fleet mode: re-dispatch requests stranded on unhealthy nodes to healthy ones (-workload vmstartup, -nodes > 1)")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, anything else = JSON)")
@@ -408,11 +456,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-simprof profiles one engine; use it with -nodes 1")
 			os.Exit(2)
 		}
-		runFleet(*mode, *wl, *cp, *util, spec, *retry, *recov, *auditFlag, *failover, *seed, horizon, *nodes, *parallel, *metricsOut)
+		runFleet(*mode, *wl, *cp, *util, spec, *retry, *recov, *overload, *auditFlag, *failover, *seed, horizon, *nodes, *parallel, *metricsOut)
 		return
 	}
 
-	sc, err := build(*mode, *wl, *cp, *util, spec, *retry, *recov, *seed, horizon)
+	sc, err := build(*mode, *wl, *cp, *util, spec, *retry, *recov, *overload, *seed, horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -471,6 +519,12 @@ func main() {
 		fmt.Printf("recovery: recoveries=%d reescalations=%d generation=%d rejoined=%v\n",
 			sc.tc.Sched.DefenseRecoveries.Value(), sc.tc.Sched.Reescalations.Value(),
 			rs.Generation, rs.Rejoined)
+	}
+	if *overload && sc.tc != nil {
+		ovs := sc.tc.Sched.OverloadStats()
+		fmt.Printf("overload: state=%s peak=%s pressure=%.3f enters=%d exits=%d\n",
+			ovs.State, ovs.Peak, ovs.Pressure,
+			sc.tc.Sched.OverloadEnters.Value(), sc.tc.Sched.OverloadExits.Value())
 	}
 
 	if prof != nil {
@@ -566,13 +620,13 @@ func writeMetrics(path string, snap *obs.Snapshot) {
 // request count, and the stranded work of unhealthy nodes is re-run on
 // the healthy ones (fleet.RunFailover) with its startup latency merged
 // into the same SLO-facing histogram.
-func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov, auditFlag, failover bool, seed int64, horizon sim.Duration, n, workers int, metricsOut string) {
+func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, recov, ovl, auditFlag, failover bool, seed int64, horizon sim.Duration, n, workers int, metricsOut string) {
 	start := time.Now() //taichi:allow walltime — fleet throughput report (nodes/s); results themselves are seed-deterministic
 	// Per-member audit reports, filled by index on the worker pool and
 	// printed in member order afterwards.
 	audits := make([]*audit.Report, n)
 	member := func(idx int, memberSeed int64, a *fleet.Aggregates) *scenario {
-		sc, err := build(mode, wl, cp, util, spec, retry, recov, memberSeed, horizon)
+		sc, err := build(mode, wl, cp, util, spec, retry, recov, ovl, memberSeed, horizon)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -605,9 +659,10 @@ func runFleet(mode, wl string, cp int, util float64, spec faults.Spec, retry, re
 			func(idx int, memberSeed int64, a *fleet.Aggregates) fleet.NodeReport {
 				sc := member(idx, memberSeed, a)
 				return fleet.NodeReport{
-					Healthy:  healthyNode(sc),
-					Stranded: stranded(sc.mgr),
-					Rejoined: rejoinedNode(sc),
+					Healthy:    healthyNode(sc),
+					Stranded:   stranded(sc.mgr),
+					Rejoined:   rejoinedNode(sc),
+					BrownedOut: brownedOutNode(sc),
 				}
 			},
 			func(idx int, redisSeed int64, count int, a *fleet.Aggregates) {

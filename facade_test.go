@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	taichi "repro"
+	"repro/internal/cluster"
 	"repro/internal/controlplane"
 	"repro/internal/kernel"
 )
@@ -100,6 +101,44 @@ func TestFacadeZeroFaultIdentity(t *testing.T) {
 		if plainFired != injFired {
 			t.Fatalf("seed %d: zero-fault injector changed event count %d -> %d",
 				seed, plainFired, injFired)
+		}
+	}
+}
+
+// TestFacadeZeroOverloadIdentity is the overload layer's regression
+// contract, the admission-gate analogue of TestFacadeZeroFaultIdentity:
+// a fully populated but not Enabled AdmissionPolicy, plus a wired (but
+// never consulted) overload-level hook, must be invisible — identical
+// Describe output and event count versus a run that never mentions the
+// overload machinery, across seeds. Only Enabled arms the gate, its RNG
+// streams, and its timers.
+func TestFacadeZeroOverloadIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 17, 404} {
+		run := func(withHooks bool) (string, uint64) {
+			sys := taichi.New(seed)
+			cfg := cluster.DefaultConfig(2)
+			cfg.VMs = 6
+			cfg.VMLifetime = 0
+			cfg.Retry = cluster.DefaultRetryPolicy()
+			if withHooks {
+				pol := taichi.DefaultAdmissionPolicy()
+				pol.Enabled = false // populated knobs, gate disarmed
+				cfg.Admission = pol
+				cfg.OverloadLevel = func() int { return 0 }
+			}
+			cluster.NewManager(sys, cfg).Start()
+			sys.Run(taichi.Seconds(1))
+			return sys.Describe(), sys.Engine().Fired()
+		}
+		plainOut, plainFired := run(false)
+		hookOut, hookFired := run(true)
+		if plainOut != hookOut {
+			t.Fatalf("seed %d: disabled admission gate changed Describe output\n--- without\n%s--- with\n%s",
+				seed, plainOut, hookOut)
+		}
+		if plainFired != hookFired {
+			t.Fatalf("seed %d: disabled admission gate changed event count %d -> %d",
+				seed, plainFired, hookFired)
 		}
 	}
 }

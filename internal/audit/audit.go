@@ -1,10 +1,11 @@
 // Package audit is the runtime invariant auditor: it replays a node's
 // flat trace stream after a run and checks the conservation invariants
-// the scheduler, the defense/recovery ladders, and the request lifecycle
-// promise — no vCPU double-lend, every lend paired with a reclaim,
-// request conservation across retries and resurrections, mode
-// transitions forming a legal lattice path, and circuit-breaker state
-// machine legality. Violations come back structured so tests,
+// the scheduler, the defense/recovery/overload ladders, and the request
+// lifecycle promise — no vCPU double-lend, every lend paired with a
+// reclaim, request conservation across retries, resurrections and
+// admission-gate sheds (issued = completed + dead-lettered + shed +
+// pending), mode and overload transitions forming legal lattice paths,
+// and circuit-breaker state machine legality. Violations come back structured so tests,
 // `taichi-sim -audit`, and the chaos experiment can fail loudly on them.
 //
 // The auditor is a pure function of the recorded events (plus an
@@ -31,8 +32,8 @@ import (
 type Violation struct {
 	// Code identifies the invariant: "double-lend", "vcpu-two-cores",
 	// "unmatched-vm-exit", "unmatched-reclaim", "request-order",
-	// "request-conservation", "mode-lattice", "breaker-legality",
-	// "truncated-trace".
+	// "request-conservation", "mode-lattice", "overload-lattice",
+	// "breaker-legality", "truncated-trace".
 	Code string
 	// At is the simulated instant of the offending event (0 for
 	// end-of-run conservation checks).
@@ -53,9 +54,24 @@ func (v Violation) String() string {
 type Report struct {
 	// Events is how many trace events the auditor consumed.
 	Events int
+	// Requests carries the replayer's request-lifecycle tallies, exposed
+	// so report pipelines can be cross-checked against the trace instead
+	// of trusting their own counters.
+	Requests RequestTotals
 	// Violations lists every breach in event order (conservation checks
 	// last). Empty means the run upheld every invariant.
 	Violations []Violation
+}
+
+// RequestTotals is the replayer's view of request conservation, counted
+// from trace events alone. Dead counts dead-letter *events* (a request
+// resurrected and dead-lettered again counts twice); the net number of
+// requests resting in the dead-letter queue is Dead − Resurrected, which
+// is the figure the conservation identity uses:
+//
+//	Issued = Completed + (Dead − Resurrected) + Shed + Pending
+type RequestTotals struct {
+	Issued, Completed, Dead, Resurrected, Shed, Pending int
 }
 
 // Ok reports a clean audit.
@@ -93,6 +109,7 @@ const (
 	reqCompleted
 	reqDead
 	reqResurrected
+	reqShed
 )
 
 func (p reqPhase) String() string {
@@ -109,6 +126,8 @@ func (p reqPhase) String() string {
 		return "dead-lettered"
 	case reqResurrected:
 		return "resurrected"
+	case reqShed:
+		return "shed"
 	}
 	return "unknown"
 }
@@ -173,9 +192,13 @@ func Run(events []trace.Event, opts Options) *Report {
 	// Request lifecycle mirror + event tallies for conservation.
 	reqState := map[int64]reqPhase{}
 	var reqOrder []int64
-	var issuedEv, completedEv, deadEv, resurrectedEv int
+	var issuedEv, completedEv, deadEv, resurrectedEv, shedEv int
 	// Mode lattice: the scheduler-wide degradation position.
 	mode := "normal"
+	// Overload lattice: the brownout-ladder rung (OverloadState ordinal,
+	// carried as the overload_enter/exit Arg); transitions must move
+	// exactly one rung — up on enter, down on exit.
+	ovl := int64(0)
 
 	for _, e := range events {
 		switch e.Kind {
@@ -248,6 +271,15 @@ func Run(events []trace.Event, opts Options) *Report {
 				add(e, "request-order", "resurrection of request %d in state %s", e.Arg, reqState[e.Arg])
 			}
 			reqState[e.Arg] = reqResurrected
+		case trace.KindRequestShed:
+			shedEv++
+			if reqState[e.Arg] != reqPending {
+				// A shed consumes no attempt: it is legal only before the
+				// first provisioning attempt, straight out of the admission
+				// queue.
+				add(e, "request-order", "shed of request %d in state %s (legal only from pending)", e.Arg, reqState[e.Arg])
+			}
+			reqState[e.Arg] = reqShed
 
 		case trace.KindReclaimEscalate:
 			// Scheduler-wide rungs carry CPU -1; per-slot watchdog rungs
@@ -286,6 +318,22 @@ func Run(events []trace.Event, opts Options) *Report {
 			if mode != "normal" {
 				add(e, "mode-lattice", "node_rejoin while mode is %s (rejoin implies normal)", mode)
 			}
+		case trace.KindOverloadEnter:
+			if e.Arg != ovl+1 {
+				add(e, "overload-lattice", "overload_enter to rung %d from rung %d (must climb exactly one)", e.Arg, ovl)
+			}
+			if e.Arg < 1 || e.Arg > 3 {
+				add(e, "overload-lattice", "overload_enter to rung %d outside the ladder (1..3)", e.Arg)
+			}
+			ovl = e.Arg
+		case trace.KindOverloadExit:
+			if e.Arg != ovl-1 {
+				add(e, "overload-lattice", "overload_exit to rung %d from rung %d (must descend exactly one)", e.Arg, ovl)
+			}
+			if e.Arg < 0 || e.Arg > 2 {
+				add(e, "overload-lattice", "overload_exit to rung %d outside the ladder (0..2)", e.Arg)
+			}
+			ovl = e.Arg
 		default:
 			// Every kind must be replayed above or declared out of scope;
 			// an event in neither set means the schema grew past the
@@ -303,15 +351,19 @@ func Run(events []trace.Event, opts Options) *Report {
 	pending := 0
 	for _, id := range reqOrder {
 		switch reqState[id] {
-		case reqCompleted, reqDead:
+		case reqCompleted, reqDead, reqShed:
 		default:
 			pending++
 		}
 	}
-	if issuedEv != completedEv+(deadEv-resurrectedEv)+pending {
+	rep.Requests = RequestTotals{
+		Issued: issuedEv, Completed: completedEv, Dead: deadEv,
+		Resurrected: resurrectedEv, Shed: shedEv, Pending: pending,
+	}
+	if issuedEv != completedEv+(deadEv-resurrectedEv)+shedEv+pending {
 		addEnd("request-conservation",
-			"issued=%d != completed=%d + (dead=%d - resurrected=%d) + pending=%d",
-			issuedEv, completedEv, deadEv, resurrectedEv, pending)
+			"issued=%d != completed=%d + (dead=%d - resurrected=%d) + shed=%d + pending=%d",
+			issuedEv, completedEv, deadEv, resurrectedEv, shedEv, pending)
 	}
 
 	if bc := opts.Breaker; bc != nil {

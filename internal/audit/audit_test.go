@@ -239,3 +239,94 @@ func TestReportString(t *testing.T) {
 		t.Fatalf("report body missing violation: %q", s)
 	}
 }
+
+// --- overload control: shed legality, conservation, ladder lattice ---------
+
+// TestShedLegality: a shed straight out of the admission queue is legal
+// and balances the conservation identity; a shed after a provisioning
+// attempt started is a request-order violation (a shed must never
+// consume an attempt).
+func TestShedLegality(t *testing.T) {
+	clean := []trace.Event{
+		ev(100, trace.KindRequestIssued, -1, 1, "class=batch"),
+		ev(200, trace.KindRequestShed, -1, 1, "sojourn"),
+	}
+	rep := Run(clean, Options{})
+	if !rep.Ok() {
+		t.Fatalf("clean shed reported violations: %v", rep.Violations)
+	}
+	want := RequestTotals{Issued: 1, Shed: 1}
+	if rep.Requests != want {
+		t.Fatalf("Requests = %+v, want %+v", rep.Requests, want)
+	}
+
+	bad := []trace.Event{
+		ev(100, trace.KindRequestIssued, -1, 1, "class=batch"),
+		ev(150, trace.KindRequestAttempt, -1, 1, "attempt=1"),
+		ev(200, trace.KindRequestShed, -1, 1, "sojourn"),
+	}
+	rep = Run(bad, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "request-order" {
+		t.Fatalf("codes = %v; want [request-order]", got)
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "legal only from pending") {
+		t.Fatalf("violation %q should explain shed legality", rep.Violations[0].Msg)
+	}
+}
+
+// TestShedConservation: a shed for a request that was never issued is
+// both an order violation (the auditor has no pending request to shed)
+// and a conservation break, and the totals still tally the stray event.
+func TestShedConservation(t *testing.T) {
+	events := []trace.Event{
+		ev(100, trace.KindRequestShed, -1, 7, "brownout"),
+	}
+	rep := Run(events, Options{})
+	got := codes(rep)
+	if len(got) != 2 || got[0] != "request-order" || got[1] != "request-conservation" {
+		t.Fatalf("codes = %v; want [request-order request-conservation]", got)
+	}
+	if rep.Requests.Shed != 1 || rep.Requests.Issued != 0 {
+		t.Fatalf("Requests = %+v; the stray shed must still be tallied", rep.Requests)
+	}
+}
+
+// TestOverloadLattice: the ladder must move one rung at a time. A full
+// climb and descent audits clean; skipping a rung on the way up is a
+// lattice violation, and an exit to a rung outside the ladder trips
+// both the descent and the range checks.
+func TestOverloadLattice(t *testing.T) {
+	clean := []trace.Event{
+		ev(100, trace.KindOverloadEnter, -1, 1, "throttle"),
+		ev(200, trace.KindOverloadEnter, -1, 2, "shed"),
+		ev(300, trace.KindOverloadEnter, -1, 3, "brownout"),
+		ev(400, trace.KindOverloadExit, -1, 2, "shed"),
+		ev(500, trace.KindOverloadExit, -1, 1, "throttle"),
+		ev(600, trace.KindOverloadExit, -1, 0, "normal"),
+	}
+	rep := Run(clean, Options{})
+	if !rep.Ok() {
+		t.Fatalf("clean climb/descent reported violations: %v", rep.Violations)
+	}
+
+	skip := []trace.Event{
+		ev(100, trace.KindOverloadEnter, -1, 1, "throttle"),
+		ev(200, trace.KindOverloadEnter, -1, 3, "brownout"),
+	}
+	rep = Run(skip, Options{})
+	if got := codes(rep); len(got) != 1 || got[0] != "overload-lattice" {
+		t.Fatalf("codes = %v; want [overload-lattice]", got)
+	}
+	if !strings.Contains(rep.Violations[0].Msg, "must climb exactly one") {
+		t.Fatalf("violation %q should name the climb rule", rep.Violations[0].Msg)
+	}
+
+	outside := []trace.Event{
+		ev(100, trace.KindOverloadExit, -1, 3, "nonsense"),
+	}
+	rep = Run(outside, Options{})
+	if got := codes(rep); len(got) != 2 ||
+		got[0] != "overload-lattice" || got[1] != "overload-lattice" {
+		t.Fatalf("codes = %v; want the descent and range checks both firing", got)
+	}
+}

@@ -1,0 +1,393 @@
+package cluster
+
+// Admission gate and priority-aware load shedding (ARCHITECTURE.md §6.6).
+//
+// With AdmissionPolicy enabled, a VM-creation request no longer goes
+// straight into provisioning: it must take a token from a deterministic
+// token bucket. When the bucket is dry (or a higher class is already
+// waiting) the request queues per class, and two control loops run over
+// the queues — a drain loop ("cluster.admit" stream) that dispatches the
+// highest-priority queued request whenever tokens refill, and a
+// CoDel-style shedder sweep ("cluster.shed" stream) that expires
+// requests whose queue sojourn exceeded their class threshold. Shedding
+// is strict-priority: batch thresholds are the tightest and
+// latency-critical the widest, so under pressure batch sheds first and
+// latency-critical last. The core overload ladder (OverloadLevel)
+// tightens the bucket and shrinks the sojourn thresholds as the node
+// walks normal→throttle→shed→brownout; in brownout, batch requests are
+// rejected at the gate without queueing at all.
+//
+// A shed is terminal (ReqShed) but cheap: no provisioning attempt was
+// consumed, no device inventory existed to roll back, and the requeue
+// machinery never touches it — the client's retry accounting, not the
+// node's, owns the outcome.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Priority is a request's priority class.
+type Priority uint8
+
+// Priority classes, lowest first: shedding order is ascending, dispatch
+// order descending.
+const (
+	// PriorityBatch is best-effort work (bulk VM pre-provisioning): first
+	// to shed, last to dispatch.
+	PriorityBatch Priority = iota
+	// PriorityNormal is the default interactive class.
+	PriorityNormal
+	// PriorityLatencyCritical is customer-facing scale-up work: last to
+	// shed, first to dispatch.
+	PriorityLatencyCritical
+)
+
+// NumPriorities is the number of priority classes.
+const NumPriorities = 3
+
+// String names the class.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBatch:
+		return "batch"
+	case PriorityNormal:
+		return "normal"
+	case PriorityLatencyCritical:
+		return "latency-critical"
+	}
+	return fmt.Sprintf("priority(%d)", uint8(p))
+}
+
+// DefaultClassify is the deterministic class mix the vmstartup workload
+// and the overload experiments use: 50% batch, 40% normal, 10%
+// latency-critical, assigned by request id so the mix is identical for
+// every seed and worker count.
+func DefaultClassify(id int) Priority {
+	switch m := id % 10; {
+	case m < 5:
+		return PriorityBatch
+	case m < 9:
+		return PriorityNormal
+	default:
+		return PriorityLatencyCritical
+	}
+}
+
+// AdmissionPolicy governs the admission gate. The zero value (Enabled
+// false) disables the machinery entirely: no RNG streams, no queues, no
+// timers — the manager is byte-identical to the pre-admission
+// implementation.
+type AdmissionPolicy struct {
+	// Enabled arms the token bucket, the per-class queues, and the
+	// shedder.
+	Enabled bool
+	// Rate is the token refill rate (admissions/sec) at overload level
+	// normal; the bucket tightens by RateFactor as the ladder climbs.
+	Rate float64
+	// Burst is the bucket depth (maximum tokens banked).
+	Burst float64
+	// SojournThreshold is the base queue-deadline: a queued request whose
+	// sojourn exceeds threshold × ClassSojournFactor[class] ×
+	// SojournFactor[level] is shed instead of dispatched (CoDel-style).
+	SojournThreshold sim.Duration
+	// DrainPeriod is the cadence of the dispatch loop while requests are
+	// queued; each arming is jittered from the "cluster.admit" stream.
+	DrainPeriod sim.Duration
+	// ShedPeriod is the cadence of the shedder sweep; each arming is
+	// jittered from the "cluster.shed" stream.
+	ShedPeriod sim.Duration
+	// JitterFrac spreads each drain/shed arming by ±frac.
+	JitterFrac float64
+	// ClassSojournFactor scales the sojourn threshold per class (index by
+	// Priority): batch below 1 sheds first, latency-critical above 1
+	// sheds last. Zero entries take the defaults.
+	ClassSojournFactor [NumPriorities]float64
+	// RateFactor scales the refill rate per overload level (index by
+	// core.OverloadState ordinal: normal, throttle, shed, brownout).
+	// Zero entries take the defaults.
+	RateFactor [4]float64
+	// SojournFactor scales every sojourn threshold per overload level —
+	// the shedder's reach widens (thresholds shrink) as the ladder
+	// climbs. Zero entries take the defaults.
+	SojournFactor [4]float64
+}
+
+// DefaultAdmissionPolicy is the tuning used by the overload experiments:
+// a bucket sized for twice the default density-1 arrival rate, and
+// sojourn thresholds around the startup SLO.
+func DefaultAdmissionPolicy() AdmissionPolicy {
+	return AdmissionPolicy{
+		Enabled:            true,
+		Rate:               24,
+		Burst:              8,
+		SojournThreshold:   400 * sim.Millisecond,
+		DrainPeriod:        10 * sim.Millisecond,
+		ShedPeriod:         25 * sim.Millisecond,
+		JitterFrac:         0.2,
+		ClassSojournFactor: [NumPriorities]float64{0.5, 1.0, 2.0},
+		RateFactor:         [4]float64{1.0, 0.7, 0.4, 0.2},
+		SojournFactor:      [4]float64{1.0, 0.75, 0.5, 0.25},
+	}
+}
+
+// normalize fills zero fields of an enabled policy with defaults so a
+// caller can set just Enabled.
+func (p AdmissionPolicy) normalize() AdmissionPolicy {
+	if !p.Enabled {
+		return p
+	}
+	d := DefaultAdmissionPolicy()
+	if p.Rate <= 0 {
+		p.Rate = d.Rate
+	}
+	if p.Burst <= 0 {
+		p.Burst = d.Burst
+	}
+	if p.SojournThreshold <= 0 {
+		p.SojournThreshold = d.SojournThreshold
+	}
+	if p.DrainPeriod <= 0 {
+		p.DrainPeriod = d.DrainPeriod
+	}
+	if p.ShedPeriod <= 0 {
+		p.ShedPeriod = d.ShedPeriod
+	}
+	if p.JitterFrac < 0 {
+		p.JitterFrac = 0
+	}
+	for i := range p.ClassSojournFactor {
+		if p.ClassSojournFactor[i] <= 0 {
+			p.ClassSojournFactor[i] = d.ClassSojournFactor[i]
+		}
+	}
+	for i := range p.RateFactor {
+		if p.RateFactor[i] <= 0 {
+			p.RateFactor[i] = d.RateFactor[i]
+		}
+	}
+	for i := range p.SojournFactor {
+		if p.SojournFactor[i] <= 0 {
+			p.SojournFactor[i] = d.SojournFactor[i]
+		}
+	}
+	return p
+}
+
+// overloadLevel reads the node's overload-ladder rung (0 = normal … 3 =
+// brownout) through the Config hook, clamped to the factor tables.
+func (m *Manager) overloadLevel() int {
+	if m.cfg.OverloadLevel == nil {
+		return 0
+	}
+	lvl := m.cfg.OverloadLevel()
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl > 3 {
+		lvl = 3
+	}
+	return lvl
+}
+
+// refillTokens banks tokens accrued since the last refill at the
+// level-adjusted rate, capped at the bucket depth.
+func (m *Manager) refillTokens(level int) {
+	now := m.host.Engine().Now()
+	dt := now.Sub(m.lastRefill)
+	m.lastRefill = now
+	if dt <= 0 {
+		return
+	}
+	rate := m.cfg.Admission.Rate * m.cfg.Admission.RateFactor[level]
+	m.tokens += rate * float64(dt) / float64(sim.Second)
+	if m.tokens > m.cfg.Admission.Burst {
+		m.tokens = m.cfg.Admission.Burst
+	}
+}
+
+// sojournLimit is the effective queue deadline for one class at one
+// overload level.
+func (m *Manager) sojournLimit(class Priority, level int) sim.Duration {
+	base := float64(m.cfg.Admission.SojournThreshold)
+	return sim.Duration(base *
+		m.cfg.Admission.ClassSojournFactor[class] *
+		m.cfg.Admission.SojournFactor[level])
+}
+
+// admitOrEnqueue is the gate itself: called for every freshly issued
+// request when admission is enabled. Brownout rejects batch outright;
+// otherwise a token admits the request immediately unless an equal or
+// higher class is already waiting (strict priority also on dispatch),
+// and everything else queues for the drain loop.
+func (m *Manager) admitOrEnqueue(req *Request) {
+	level := m.overloadLevel()
+	if level >= 3 && req.Class == PriorityBatch {
+		m.shed(req, "brownout")
+		return
+	}
+	m.refillTokens(level)
+	if m.tokens >= 1 && !m.queuedAtOrAbove(req.Class) {
+		m.tokens--
+		m.dispatch(req)
+		return
+	}
+	req.enqueuedAt = m.host.Engine().Now()
+	m.admitQ[req.Class] = append(m.admitQ[req.Class], req)
+	m.queued++
+	m.armDrain()
+	m.armShedSweep()
+}
+
+// queuedAtOrAbove reports whether any request of class >= c is waiting —
+// a newly arrived request must not overtake its own class's FIFO or any
+// higher class.
+func (m *Manager) queuedAtOrAbove(c Priority) bool {
+	for cls := int(c); cls < NumPriorities; cls++ {
+		if len(m.admitQ[cls]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// armDrain schedules the next drain pass (idempotent while one is
+// armed). The dwell is jittered from the dedicated "cluster.admit"
+// stream so fleet members under the same spike do not drain in lockstep.
+func (m *Manager) armDrain() {
+	if m.drainArmed || m.queued == 0 {
+		return
+	}
+	m.drainArmed = true
+	delay := sim.Jitter(m.admitR, m.cfg.Admission.DrainPeriod, m.cfg.Admission.JitterFrac)
+	m.host.Engine().ScheduleNamed(delay, "cluster.admit", func() {
+		m.drainArmed = false
+		m.drainAdmitQ()
+		m.armDrain()
+	})
+}
+
+// drainAdmitQ dispatches queued requests highest class first while
+// tokens last, shedding en route anything that already overstayed its
+// class deadline (a dispatch-time sojourn check, so a stale request
+// never consumes a token).
+func (m *Manager) drainAdmitQ() {
+	level := m.overloadLevel()
+	m.refillTokens(level)
+	now := m.host.Engine().Now()
+	for m.tokens >= 1 {
+		req := m.popHighest()
+		if req == nil {
+			return
+		}
+		if now.Sub(req.enqueuedAt) > m.sojournLimit(req.Class, level) {
+			m.shed(req, "sojourn")
+			continue
+		}
+		m.tokens--
+		m.dispatch(req)
+	}
+}
+
+// popHighest removes and returns the oldest request of the highest
+// non-empty class (nil when all queues are empty).
+func (m *Manager) popHighest() *Request {
+	for cls := NumPriorities - 1; cls >= 0; cls-- {
+		if q := m.admitQ[cls]; len(q) > 0 {
+			req := q[0]
+			m.admitQ[cls] = q[1:]
+			m.queued--
+			return req
+		}
+	}
+	return nil
+}
+
+// armShedSweep schedules the next shedder sweep (idempotent while one is
+// armed), jittered from the dedicated "cluster.shed" stream.
+func (m *Manager) armShedSweep() {
+	if m.shedArmed || m.queued == 0 {
+		return
+	}
+	m.shedArmed = true
+	delay := sim.Jitter(m.shedR, m.cfg.Admission.ShedPeriod, m.cfg.Admission.JitterFrac)
+	m.host.Engine().ScheduleNamed(delay, "cluster.shed", func() {
+		m.shedArmed = false
+		m.shedSweep()
+		m.armShedSweep()
+	})
+}
+
+// shedSweep is the CoDel-style control loop: walk the queues lowest
+// class first and shed every request whose sojourn exceeded its
+// class-and-level deadline. Strict priority falls out of the thresholds
+// (batch's is tightest) and the walk order (batch evaluated first).
+func (m *Manager) shedSweep() {
+	level := m.overloadLevel()
+	now := m.host.Engine().Now()
+	for cls := 0; cls < NumPriorities; cls++ {
+		limit := m.sojournLimit(Priority(cls), level)
+		keep := m.admitQ[cls][:0]
+		for _, req := range m.admitQ[cls] {
+			if now.Sub(req.enqueuedAt) > limit {
+				m.shed(req, "sojourn")
+				m.queued--
+			} else {
+				keep = append(keep, req)
+			}
+		}
+		m.admitQ[cls] = keep
+	}
+}
+
+// shed is the ReqShed terminal: record the reason, count it (globally
+// and per class), and emit the req_shed trace event. No device rollback
+// — the request never reached provisioning — and no requeue: a shed is
+// the client's problem by design.
+func (m *Manager) shed(req *Request, reason string) {
+	req.state = ReqShed
+	req.Reason = reason
+	m.cShed.Inc()
+	m.shedByClass[req.Class]++
+	m.emit(trace.KindRequestShed, req.ID, reason)
+}
+
+// dispatch moves an admitted request into provisioning — the exact path
+// a request takes at issue time when admission is disabled.
+func (m *Manager) dispatch(req *Request) {
+	m.provisionRecords(req)
+	m.beginAttempt(req)
+}
+
+// attemptBudgetFor resolves the per-class attempt budget (falls back to
+// the shared MaxAttempts; zero when retries are disabled, matching the
+// pre-admission manager).
+func (m *Manager) attemptBudgetFor(class Priority) int {
+	if !m.cfg.Retry.Enabled {
+		return m.cfg.Retry.MaxAttempts
+	}
+	if b := m.cfg.Retry.ClassMaxAttempts[class]; b > 0 {
+		return b
+	}
+	return m.cfg.Retry.MaxAttempts
+}
+
+// resurrectionBudgetFor resolves the per-class resurrection budget.
+func (m *Manager) resurrectionBudgetFor(class Priority) int {
+	if b := m.cfg.Requeue.ClassMaxResurrections[class]; b > 0 {
+		return b
+	}
+	return m.cfg.Requeue.MaxResurrections
+}
+
+// Shed returns the shed request count.
+func (m *Manager) Shed() uint64 { return m.cShed.Value() }
+
+// ShedByClass returns per-class shed counts (index by Priority).
+func (m *Manager) ShedByClass() [NumPriorities]uint64 { return m.shedByClass }
+
+// QueuedAdmission returns how many requests are waiting in the
+// admission queues.
+func (m *Manager) QueuedAdmission() int { return m.queued }

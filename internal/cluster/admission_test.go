@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestShedWhileBreakerOpenIsNotABreakerFailure pins the boundary
+// between the admission gate and the circuit breaker: a shed happens
+// before any provisioning op exists, so shedding while the breaker is
+// open must not touch the breaker's ledger — no rejects, no nacks, no
+// state change. Only requests that reach the coordinator may move it.
+func TestShedWhileBreakerOpenIsNotABreakerFailure(t *testing.T) {
+	tc := core.NewDefault(81)
+	tc.SetCoordinator(&flakyCoord{inner: tc.Coordinator(), engine: tc.Engine(), fail: failAll()})
+	// OpenTimeout far beyond the test horizon: once open, the breaker
+	// stays open (no half-open timer fires inside the assertions below).
+	br := tc.InstallBreaker(controlplane.BreakerConfig{
+		FailureThreshold: 2,
+		OpenTimeout:      10 * sim.Second,
+	})
+
+	level := 0
+	cfg := DefaultConfig(1)
+	cfg.VMLifetime = 0
+	cfg.Retry = DefaultRetryPolicy()
+	cfg.Admission = DefaultAdmissionPolicy()
+	cfg.Classify = func(id int) Priority {
+		if id == 1 {
+			return PriorityNormal
+		}
+		return PriorityBatch
+	}
+	cfg.OverloadLevel = func() int { return level }
+	mgr := NewManager(tc, cfg)
+
+	// Request 1 by hand (no Start, no arrival schedule): every op NACKs,
+	// so the retry budget burns, the request dead-letters, and the
+	// breaker trips open along the way.
+	mgr.createVM()
+	drainVMs(t, tc, mgr, 1)
+	if st := mgr.Requests()[0].State(); st != ReqDeadLettered {
+		t.Fatalf("request 1 state = %v, want dead-lettered", st)
+	}
+	if br.State() != controlplane.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+	before := br.Counters()
+
+	// Brownout: batch requests shed at the gate, synchronously at issue.
+	level = 3
+	for i := 0; i < 3; i++ {
+		mgr.createVM()
+	}
+	tc.Run(tc.Engine().Now().Add(500 * sim.Millisecond))
+
+	if got := mgr.Shed(); got != 3 {
+		t.Fatalf("shed = %d, want 3", got)
+	}
+	for _, req := range mgr.Requests()[1:] {
+		if req.State() != ReqShed || req.Attempts != 0 {
+			t.Fatalf("request %d state=%v attempts=%d, want shed with zero attempts",
+				req.ID, req.State(), req.Attempts)
+		}
+	}
+	if br.State() != controlplane.BreakerOpen {
+		t.Fatalf("breaker state = %v after sheds, want still open", br.State())
+	}
+	if after := br.Counters(); after != before {
+		t.Fatalf("breaker ledger moved on sheds: before=%+v after=%+v", before, after)
+	}
+}
+
+// TestSettledWhenEveryRequestShed: a run where the gate sheds every
+// single request must still settle — all-terminal, no resurrection in
+// flight, empty admission queue — and audit clean with the conservation
+// identity balancing on the shed column alone.
+func TestSettledWhenEveryRequestShed(t *testing.T) {
+	tc := core.NewDefault(82)
+	cfg := DefaultConfig(1)
+	cfg.VMs = 6
+	cfg.VMLifetime = 0
+	cfg.Retry = DefaultRetryPolicy()
+	cfg.Requeue = DefaultRequeuePolicy()
+	cfg.Admission = DefaultAdmissionPolicy()
+	cfg.Classify = func(int) Priority { return PriorityBatch }
+	cfg.OverloadLevel = func() int { return 3 } // permanent brownout
+	mgr := NewManager(tc, cfg)
+	mgr.Start()
+	drainSettled(t, tc, mgr, 6)
+
+	if got := mgr.Shed(); got != 6 {
+		t.Fatalf("shed = %d, want all 6", got)
+	}
+	if mgr.Completed != 0 || mgr.DeadLettered() != 0 || mgr.Resurrected() != 0 {
+		t.Fatalf("completed=%d dead=%d resurrected=%d, want 0/0/0",
+			mgr.Completed, mgr.DeadLettered(), mgr.Resurrected())
+	}
+	if !mgr.Settled() {
+		t.Fatal("manager not settled with every request shed")
+	}
+	if q := mgr.QueuedAdmission(); q != 0 {
+		t.Fatalf("admission queue still holds %d requests", q)
+	}
+	if byClass := mgr.ShedByClass(); byClass[PriorityBatch] != 6 {
+		t.Fatalf("shedByClass = %v, want 6 batch", byClass)
+	}
+	for _, req := range mgr.Requests() {
+		if req.State() != ReqShed || req.Attempts != 0 {
+			t.Fatalf("request %d state=%v attempts=%d, want shed with zero attempts",
+				req.ID, req.State(), req.Attempts)
+		}
+	}
+
+	rep := audit.Run(tc.Node.Tracer.Events(), audit.Options{})
+	if !rep.Ok() {
+		t.Fatalf("auditor found violations: %v", rep.Violations)
+	}
+	want := audit.RequestTotals{Issued: 6, Shed: 6}
+	if rep.Requests != want {
+		t.Fatalf("audit totals = %+v, want %+v", rep.Requests, want)
+	}
+}
+
+// TestResurrectionDefersWhileMemberSheds covers a resurrection decision
+// pending against a member that is riding the overload ladder: the
+// health gate keeps polling (the dwell re-arms) while the member sheds,
+// and the request is resurrected — never shed, since resurrection
+// bypasses the admission gate — once the ladder returns to normal.
+func TestResurrectionDefersWhileMemberSheds(t *testing.T) {
+	tc := core.NewDefault(83)
+	tc.SetCoordinator(&flakyCoord{inner: tc.Coordinator(), engine: tc.Engine(), fail: firstLifeFails()})
+
+	level := 2 // shed rung: unhealthy, but normal-class admission still flows
+	polls := 0
+	cfg := DefaultConfig(1)
+	cfg.VMs = 1
+	cfg.VMLifetime = 0
+	cfg.Retry = DefaultRetryPolicy()
+	cfg.Requeue = RequeuePolicy{Enabled: true, RequeueDelay: 20 * sim.Millisecond, MaxHealthChecks: 100}
+	cfg.Admission = DefaultAdmissionPolicy()
+	cfg.Classify = func(int) Priority { return PriorityNormal }
+	cfg.OverloadLevel = func() int { return level }
+	cfg.Healthy = func() bool { polls++; return level == 0 }
+	mgr := NewManager(tc, cfg)
+	mgr.Start()
+	tc.Engine().At(sim.Time(400*sim.Millisecond), func() { level = 0 })
+	drainSettled(t, tc, mgr, 1)
+
+	req := mgr.Requests()[0]
+	if mgr.Completed != 1 || req.State() != ReqCompleted {
+		t.Fatalf("completed=%d state=%v, want the resurrected life to finish",
+			mgr.Completed, req.State())
+	}
+	if mgr.Resurrected() != 1 || req.Resurrections != 1 {
+		t.Fatalf("resurrected=%d req.Resurrections=%d, want 1/1", mgr.Resurrected(), req.Resurrections)
+	}
+	// The gate had to wait out the shedding member: the first poll (or
+	// several, dwell after dwell) saw it unhealthy before the ladder
+	// cleared at 400 ms.
+	if polls < 2 {
+		t.Fatalf("health polled %d time(s); the dwell should have re-armed while shedding", polls)
+	}
+	if mgr.Shed() != 0 {
+		t.Fatalf("shed = %d; resurrection must bypass the admission gate", mgr.Shed())
+	}
+}

@@ -73,6 +73,20 @@ type Config struct {
 	// Requeue governs bounded dead-letter resurrection; the zero value
 	// disables it (dead-lettered stays terminal).
 	Requeue RequeuePolicy
+	// Admission governs the token-bucket admission gate and the
+	// priority-aware queue-deadline shedder (admission.go); the zero
+	// value disables the machinery entirely.
+	Admission AdmissionPolicy
+	// Classify assigns each request id its priority class; nil means
+	// every request is PriorityNormal. Must be a pure function of the id
+	// (it is consulted once per request and must not draw randomness).
+	Classify func(id int) Priority
+	// OverloadLevel, when non-nil, reports the node's overload-ladder
+	// rung (0 normal … 3 brownout, core.OverloadState ordinals); the
+	// admission gate tightens its bucket and shrinks sojourn thresholds
+	// accordingly. Nil means permanently normal. Consulted only at gate
+	// and sweep time, so it draws nothing and schedules nothing.
+	OverloadLevel func() int
 	// Healthy, when non-nil, gates resurrection on target-node health —
 	// typically "scheduler not in static fallback and breaker not open".
 	// Nil means always healthy. Consulted only from requeue health
@@ -139,6 +153,20 @@ type Manager struct {
 	cIssued, cCompleted, cRetried *metrics.Counter
 	cDead, cTimeouts, cNacks      *metrics.Counter
 	cRequeued, cResurrected       *metrics.Counter
+	cShed                         *metrics.Counter
+
+	// Admission-gate state (admission.go): per-class FIFO queues, the
+	// token bucket, and the armed flags of the two control loops. admitR
+	// and shedR are the "cluster.admit" / "cluster.shed" streams, nil
+	// when admission is disabled.
+	admitR, shedR *rand.Rand
+	admitQ        [NumPriorities][]*Request
+	queued        int
+	tokens        float64
+	lastRefill    sim.Time
+	drainArmed    bool
+	shedArmed     bool
+	shedByClass   [NumPriorities]uint64
 
 	stopped bool
 }
@@ -147,6 +175,7 @@ type Manager struct {
 func NewManager(host Host, cfg Config) *Manager {
 	cfg.Retry = cfg.Retry.normalize()
 	cfg.Requeue = cfg.Requeue.normalize()
+	cfg.Admission = cfg.Admission.normalize()
 	g := metrics.NewGroup("requests")
 	m := &Manager{
 		cfg:         cfg,
@@ -164,9 +193,11 @@ func NewManager(host Host, cfg Config) *Manager {
 		cNacks:      g.Counter("nacks"),
 	}
 	// Requeue counters are appended after the original six so existing
-	// registration-order consumers keep their positions.
+	// registration-order consumers keep their positions; shed follows
+	// them for the same reason.
 	m.cRequeued = g.Counter("requeued")
 	m.cResurrected = g.Counter("resurrected")
+	m.cShed = g.Counter("shed")
 	if cfg.Retry.Enabled {
 		// The backoff-jitter stream exists only when retries can draw
 		// from it, keeping disabled-retry runs stream-for-stream
@@ -177,6 +208,15 @@ func NewManager(host Host, cfg Config) *Manager {
 		// Same pattern: the requeue-jitter stream exists only when the
 		// dead-letter requeue can draw from it.
 		m.requeueR = host.Stream("cluster.requeue")
+	}
+	if cfg.Admission.Enabled {
+		// The gate's two control-loop streams exist only when the gate
+		// can draw from them, keeping admission-disabled runs
+		// stream-for-stream identical to the pre-admission manager. The
+		// bucket starts full so a quiet node admits its first burst.
+		m.admitR = host.Stream("cluster.admit")
+		m.shedR = host.Stream("cluster.shed")
+		m.tokens = cfg.Admission.Burst
 	}
 	if th, ok := host.(TracerHost); ok {
 		m.tracer = th.Tracer()
@@ -226,15 +266,28 @@ func (m *Manager) scheduleNext() {
 func (m *Manager) createVM() {
 	m.Issued++
 	id := int(m.Issued)
+	class := PriorityNormal
+	// The issue note carries the class only when a classifier is set, so
+	// unclassified runs keep their historical trace bytes.
+	note := ""
+	if m.cfg.Classify != nil {
+		class = m.cfg.Classify(id)
+		note = class.String()
+	}
 	req := &Request{
 		ID:            id,
+		Class:         class,
 		IssuedAt:      m.host.Engine().Now(),
 		state:         ReqPending,
-		attemptBudget: m.cfg.Retry.MaxAttempts,
+		attemptBudget: m.attemptBudgetFor(class),
 	}
 	m.reqs = append(m.reqs, req)
 	m.cIssued.Inc()
-	m.emit(trace.KindRequestIssued, id, "")
+	m.emit(trace.KindRequestIssued, id, note)
+	if m.cfg.Admission.Enabled {
+		m.admitOrEnqueue(req)
+		return
+	}
 	m.provisionRecords(req)
 	m.beginAttempt(req)
 }
@@ -402,7 +455,7 @@ func (m *Manager) deadLetter(req *Request, reason string) {
 // maybeRequeue arms one resurrection decision for a freshly dead-lettered
 // request, if the policy allows another life.
 func (m *Manager) maybeRequeue(req *Request) {
-	if !m.cfg.Requeue.Enabled || req.Resurrections >= m.cfg.Requeue.MaxResurrections {
+	if !m.cfg.Requeue.Enabled || req.Resurrections >= m.resurrectionBudgetFor(req.Class) {
 		return
 	}
 	m.pendingRequeues++
@@ -441,7 +494,7 @@ func (m *Manager) scheduleRequeueCheck(req *Request, check int) {
 // lives.
 func (m *Manager) resurrect(req *Request) {
 	req.Resurrections++
-	req.attemptBudget = req.Attempts + m.cfg.Retry.MaxAttempts
+	req.attemptBudget = req.Attempts + m.attemptBudgetFor(req.Class)
 	req.Reason = ""
 	m.cResurrected.Inc()
 	m.emit(trace.KindRequestResurrected, req.ID, fmt.Sprintf("life%d", req.Resurrections+1))

@@ -25,6 +25,13 @@ const (
 	// ReqDeadLettered: the attempt budget is exhausted; devices were
 	// rolled back and the failure reason recorded (terminal).
 	ReqDeadLettered
+	// ReqShed: the admission gate rejected the request outright or the
+	// queue-deadline shedder expired it while still queued (terminal).
+	// Distinct from dead-letter: no provisioning attempt was consumed,
+	// no device inventory existed, and the requeue machinery never sees
+	// it — a shed is the cheap outcome a client retries against another
+	// node, not a provisioning failure.
+	ReqShed
 )
 
 // String names the state.
@@ -40,13 +47,15 @@ func (s RequestState) String() string {
 		return "completed"
 	case ReqDeadLettered:
 		return "dead-lettered"
+	case ReqShed:
+		return "shed"
 	}
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
 // Terminal reports whether the state is final.
 func (s RequestState) Terminal() bool {
-	return s == ReqCompleted || s == ReqDeadLettered
+	return s == ReqCompleted || s == ReqDeadLettered || s == ReqShed
 }
 
 // Request tracks one VM creation end to end. Every issued request
@@ -56,6 +65,10 @@ func (s RequestState) Terminal() bool {
 type Request struct {
 	// ID is the VM id (1-based issue order).
 	ID int
+	// Class is the request's priority class; shedding is strict-priority
+	// (batch first, latency-critical last) and retry/resurrection budgets
+	// may differ per class.
+	Class Priority
 	// Attempts counts provisioning attempts issued so far.
 	Attempts int
 	// IssuedAt / CompletedAt bound the request's lifetime.
@@ -75,6 +88,9 @@ type Request struct {
 	// per-attempt RNG stream names never repeat).
 	attemptBudget int
 	deadline      *sim.Event
+	// enqueuedAt is when the admission gate queued the request (zero when
+	// it was dispatched immediately); the sojourn the shedder measures.
+	enqueuedAt sim.Time
 }
 
 // State returns the request's lifecycle state.
@@ -103,6 +119,10 @@ type RetryPolicy struct {
 	// JitterFrac spreads each backoff by ±frac, drawn from the manager's
 	// dedicated "cluster.retry" stream so replays stay bit-for-bit.
 	JitterFrac float64
+	// ClassMaxAttempts overrides MaxAttempts per priority class (index by
+	// Priority). A zero entry falls back to MaxAttempts, so the zero
+	// array keeps every class on the shared budget.
+	ClassMaxAttempts [NumPriorities]int
 }
 
 // DefaultRetryPolicy mirrors a production device-manager profile: three
@@ -177,6 +197,9 @@ type RequeuePolicy struct {
 	// MaxHealthChecks bounds how many times an unhealthy verdict is
 	// re-polled before the request is abandoned in the dead-letter state.
 	MaxHealthChecks int
+	// ClassMaxResurrections overrides MaxResurrections per priority class
+	// (index by Priority). A zero entry falls back to MaxResurrections.
+	ClassMaxResurrections [NumPriorities]int
 }
 
 // DefaultRequeuePolicy allows one resurrection per request after a short

@@ -164,8 +164,10 @@ func (s *Scheduler) reclaimWatchdog(slot *dpSlot) {
 	}
 	d := s.defense
 	s.FaultsDetected.Inc()
-	// Any watchdog escalation voids recovery probation progress.
+	// Any watchdog escalation voids recovery probation progress and
+	// counts into the overload ladder's pressure window.
 	s.recoveryOnEscalation()
+	s.overloadNoteEscalation()
 	if slot.wdRetries < d.cfg.ReclaimRetries {
 		// Escalate: a forced IPI this time, not a probe request.
 		slot.wdRetries++

@@ -238,6 +238,13 @@ func (s *Scheduler) noteCleanReclaim(slot *dpSlot) {
 	if d == nil || rc == nil || d.mode != ModeSWProbe || slot.dp.Down() {
 		return
 	}
+	if s.overloadBrownedOut() {
+		// Brownout suspends sw-probe re-qualification: probation evidence
+		// gathered while the node is deliberately degraded is not proof
+		// the reclaim envelope holds under real load, so it does not
+		// accumulate (ARCHITECTURE.md §6.6).
+		return
+	}
 	now := s.engine.Now()
 	rc.cleanTimes = append(rc.cleanTimes, now)
 	cutoff := now.Add(-rc.pol.ProbationWindow)

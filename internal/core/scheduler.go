@@ -133,11 +133,18 @@ type Scheduler struct {
 	// recovery holds the self-healing de-escalation state (recovery.go);
 	// nil keeps every recovery path completely inert.
 	recovery *recoveryState
+	// overload holds the brownout-ladder state (overload.go); nil keeps
+	// every overload path completely inert.
+	overload *overloadState
 	// OnStaticFallback, when non-nil, fires once per entry into static
 	// partitioning, after lending is suspended — the hook TaiChi uses to
 	// detach subsystems (like an active audit) that depend on vCPUs
 	// being hosted.
 	OnStaticFallback func()
+	// OnBrownout, when non-nil, fires once per entry into the overload
+	// ladder's brownout rung — the hook TaiChi uses to suspend optional
+	// work (an active audit's vCPU pinning).
+	OnBrownout func()
 
 	// Metrics.
 	Yields         *metrics.Counter
@@ -159,6 +166,11 @@ type Scheduler struct {
 	// always created and stay zero unless EnableRecovery armed the ladder.
 	DefenseRecoveries *metrics.Counter
 	Reescalations     *metrics.Counter
+
+	// Overload metrics (overload.go); always created, zero unless
+	// EnableOverload armed the brownout ladder.
+	OverloadEnters *metrics.Counter
+	OverloadExits  *metrics.Counter
 }
 
 // NewScheduler mounts Tai Chi onto the node: creates and registers the
@@ -194,6 +206,9 @@ func NewScheduler(node *platform.Node, cfg Config) *Scheduler {
 
 		DefenseRecoveries: metrics.NewCounter("taichi.defense_recoveries"),
 		Reescalations:     metrics.NewCounter("taichi.reescalations"),
+
+		OverloadEnters: metrics.NewCounter("taichi.overload_enters"),
+		OverloadExits:  metrics.NewCounter("taichi.overload_exits"),
 	}
 	s.orch = NewOrchestrator(node.Kernel)
 

@@ -54,6 +54,14 @@ func New(node *platform.Node, cfg Config) *TaiChi {
 			t.audit.Stop()
 		}
 	}
+	// Brownout suspends optional work: an audit holding a pinned vCPU is
+	// load the node can no longer afford, so it is detached exactly like
+	// the static-fallback case.
+	t.Sched.OnBrownout = func() {
+		if t.audit != nil && t.audit.Active() {
+			t.audit.Stop()
+		}
+	}
 	return t
 }
 
@@ -125,6 +133,11 @@ func (t *TaiChi) Describe() string {
 	rs := s.RecoveryStats()
 	fmt.Fprintf(&b, "recovery: recoveries=%d reescalations=%d generation=%d rejoined=%v\n",
 		s.DefenseRecoveries.Value(), s.Reescalations.Value(), rs.Generation, rs.Rejoined)
+	// The overload line is always printed for the same reason: an
+	// armed-but-idle ladder renders the identical all-normal line.
+	os := s.OverloadStats()
+	fmt.Fprintf(&b, "overload: state=%s peak=%s enters=%d exits=%d\n",
+		s.OverloadState(), os.Peak, s.OverloadEnters.Value(), s.OverloadExits.Value())
 	// Like the defense counters, the breaker line is always printed: a
 	// node that never installed one renders the identical zero line.
 	if t.Breaker != nil {

@@ -240,10 +240,10 @@ func RequestOutcomes(scale Scale, baseSeed int64) (*metrics.Table, map[string]fl
 
 	levels := []float64{0, 0.5, 1, 2}
 	type row struct {
-		issued, completed, retried, dead uint64
-		terminal                         bool
-		breaker                          string
-		mode                             string
+		issued, completed, retried, dead, shed uint64
+		terminal                               bool
+		breaker                                string
+		mode                                   string
 	}
 	rows := make([]row, len(levels))
 	vms := int(48 * scale.Factor)
@@ -284,6 +284,7 @@ func RequestOutcomes(scale Scale, baseSeed int64) (*metrics.Table, map[string]fl
 			completed: mgr.Completed,
 			retried:   mgr.Retried(),
 			dead:      mgr.DeadLettered(),
+			shed:      mgr.Shed(),
 			terminal:  mgr.Terminal(),
 			breaker:   breaker,
 			mode:      tc.Sched.DefenseMode().String(),
@@ -294,9 +295,14 @@ func RequestOutcomes(scale Scale, baseSeed int64) (*metrics.Table, map[string]fl
 	for i, lvl := range levels {
 		r := rows[i]
 		label := fmt.Sprintf("%gx", lvl)
+		// Shed is a terminal outcome too (the auditor's conservation
+		// identity: issued = completed + net dead + shed + pending);
+		// this sweep runs without an admission gate so shed is zero
+		// today, but the formula must agree with Terminal() and the
+		// audit replayer if one is ever configured.
 		terminalPct := 0.0
 		if r.issued > 0 {
-			terminalPct = 100 * float64(r.completed+r.dead) / float64(r.issued)
+			terminalPct = 100 * float64(r.completed+r.dead+r.shed) / float64(r.issued)
 		}
 		tbl.AddRow(label, r.issued, r.completed, r.retried, r.dead,
 			terminalPct, r.breaker, r.mode)

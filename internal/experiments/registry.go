@@ -40,6 +40,7 @@ func Registry() []Named {
 		{"abl-conntrack", "Ablation: DP connection-table sizing", AblationConnTrack},
 		{"abl-ipiv", "Ablation: IPI virtualization", AblationIPIV},
 		{"chaos", "Chaos: fault-rate sweep with graceful degradation", Chaos},
+		{"overload", "Overload: offered-load sweep with admission gate and brownout ladder", OverloadSweep},
 	}
 }
 

@@ -27,6 +27,13 @@ type NodeReport struct {
 	// deterministic rebalance share), and is additionally counted as
 	// failover.nodes_rejoined.
 	Rejoined bool
+	// BrownedOut reports that the node ended the run on the brownout rung
+	// of its overload ladder. A browned-out node may still be Healthy (its
+	// defenses held), but it is shedding its own load — re-dispatching a
+	// failed peer's stranded work onto it would defeat the brownout, so it
+	// is excluded from the round-robin ring and counted as
+	// failover.nodes_browned_out. Its own stranded requests stay pending.
+	BrownedOut bool
 }
 
 // FailoverMember runs one node to its horizon, reports into the member's
@@ -39,15 +46,17 @@ type FailoverMember func(idx int, seed int64, agg *Aggregates) NodeReport
 type Redispatch func(idx int, seed int64, count int, agg *Aggregates)
 
 // RunFailover executes n members, then re-dispatches the work stranded
-// on unhealthy nodes across the healthy ones (round-robin, index order).
-// The merged aggregates gain five scalars: failover.nodes_failed,
-// failover.redispatched, failover.lost (stranded requests with no
-// healthy node left to take them), failover.pending (requests left
-// non-terminal at the horizon on healthy nodes — not re-dispatched,
-// since their node can still finish them, but surfaced so stranded work
-// never silently understates), and failover.nodes_rejoined (members that
-// degraded mid-run but self-healed back to health by the horizon).
-// Output is byte-identical for any worker count.
+// on unhealthy nodes across the healthy, non-browned-out ones
+// (round-robin, index order). The merged aggregates gain six scalars:
+// failover.nodes_failed, failover.redispatched, failover.lost (stranded
+// requests with no eligible node left to take them), failover.pending
+// (requests left non-terminal at the horizon on healthy nodes — not
+// re-dispatched, since their node can still finish them, but surfaced so
+// stranded work never silently understates), failover.nodes_rejoined
+// (members that degraded mid-run but self-healed back to health by the
+// horizon), and failover.nodes_browned_out (healthy members excluded
+// from the re-dispatch ring because their overload ladder ended the run
+// in brownout). Output is byte-identical for any worker count.
 func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redispatch Redispatch) *Aggregates {
 	if n <= 0 {
 		panic("fleet: need at least one member")
@@ -63,18 +72,21 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 
 	var healthy []int
 	for i, rep := range reports {
-		if rep.Healthy {
+		if rep.Healthy && !rep.BrownedOut {
 			healthy = append(healthy, i)
 		}
 	}
 	counts := make([]int, len(healthy))
-	nodesFailed, redispatched, lost, pending, rejoined := 0, 0, 0, 0, 0
+	nodesFailed, redispatched, lost, pending, rejoined, brownedOut := 0, 0, 0, 0, 0, 0
 	next := 0
 	for _, rep := range reports {
 		if rep.Healthy {
 			pending += rep.Stranded
 			if rep.Rejoined {
 				rejoined++
+			}
+			if rep.BrownedOut {
+				brownedOut++
 			}
 			continue
 		}
@@ -117,5 +129,6 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 	total.Add("failover.lost", float64(lost))
 	total.Add("failover.pending", float64(pending))
 	total.Add("failover.nodes_rejoined", float64(rejoined))
+	total.Add("failover.nodes_browned_out", float64(brownedOut))
 	return total
 }

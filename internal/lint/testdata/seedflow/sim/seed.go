@@ -100,6 +100,48 @@ func NewUnseededRequeuer() *requeuer {
 	return &requeuer{r: rand.New(rand.NewSource(23))} // want `NewUnseededRequeuer reaches a randomness source`
 }
 
+// Good: the admission-gate shape — drain and shed-sweep jitter drawn
+// from two named host streams created at arming time, mirroring
+// cluster.NewManager's "cluster.admit"/"cluster.shed" streams.
+type admitGate struct {
+	admitR *rand.Rand
+	shedR  *rand.Rand
+	queued int
+}
+
+func NewAdmitGate(h host) *admitGate {
+	return &admitGate{
+		admitR: h.Stream("cluster.admit"),
+		shedR:  h.Stream("cluster.shed"),
+	}
+}
+
+// Bad: the same gate with invented jitter sources — neither the drain
+// cadence nor the shed sweep can ever replay.
+func NewUnseededAdmitGate() *admitGate {
+	return &admitGate{
+		admitR: rand.New(rand.NewSource(31)), // want `NewUnseededAdmitGate reaches a randomness source`
+		shedR:  rand.New(rand.NewSource(37)),
+	}
+}
+
+// Good: the overload-ladder shape — pressure-sampling jitter drawn from
+// a named host stream, mirroring core.EnableOverload's "core.overload"
+// stream.
+type brownout struct {
+	r    *rand.Rand
+	rung int
+}
+
+func NewBrownoutLadder(h host) *brownout {
+	return &brownout{r: h.Stream("core.overload")}
+}
+
+// Bad: a ladder whose sampling jitter comes from an invented source.
+func NewUnseededBrownout() *brownout {
+	return &brownout{r: rand.New(rand.NewSource(41))} // want `NewUnseededBrownout reaches a randomness source`
+}
+
 // Unexported constructors and non-constructor functions are out of
 // scope for this rule (walltime/globalrand still cover their bodies).
 func newScratch() *widget {

@@ -14,7 +14,10 @@ import (
 // StreamNames is the fixture's registry.
 var StreamNames = []string{
 	"alpha",
+	"admit",
+	"overload",
 	"sel",
+	"shed",
 	"vm%d",
 	"vm%d.retry",
 	"ghost", // want `registered stream "ghost" is never derived`
@@ -71,3 +74,26 @@ func nondet(r *RNG, ch chan int, weights map[string]int) {
 }
 
 func burn(rng *rand.Rand) { rng.Float64() }
+
+// gate mirrors the cluster admission-gate shape: distinct drain and
+// shed-sweep streams created once at arming time, each drawn only in its
+// own timer callback. Two draws from two registered names — silent.
+type gate struct {
+	admitR *rand.Rand
+	shedR  *rand.Rand
+}
+
+func newGate(r *RNG) *gate {
+	return &gate{admitR: r.Stream("admit"), shedR: r.Stream("shed")}
+}
+
+func (g *gate) drain() float64 { return g.admitR.Float64() }
+func (g *gate) sweep() float64 { return g.shedR.Float64() }
+
+// overloadSample mirrors the core overload-ladder shape: the sampling
+// loop draws its arming jitter from one dedicated stream. Registered, so
+// silent; a second derivation of the same name elsewhere would trip the
+// correlation diagnostic as in derives above.
+func overloadSample(r *RNG) float64 {
+	return r.Stream("overload").Float64()
+}

@@ -14,7 +14,7 @@ import (
 // spans identically.
 type Span struct {
 	ID    int
-	Class string // "np", "vm", "lend", "reclaim", "softirq", "ipi", "packet", "attempt", "request"
+	Class string // "np", "vm", "lend", "reclaim", "softirq", "ipi", "packet", "attempt", "request", "overload"
 	CPU   int    // physical/logical CPU id; -1 for spans not tied to a core
 	Arg   int64  // pairing key where relevant (IPI id, packet id, VM id)
 	Start sim.Time
@@ -59,8 +59,9 @@ type Derivation struct {
 //	softirq softirq_raise   → softirq_run     per CPU
 //	ipi     ipi_send        → ipi_deliver     per Arg (IPI id)
 //	packet  pkt_arrive      → pkt_processed   per Arg (packet id)
-//	attempt req_attempt     → req_retry | req_completed | req_deadletter  per Arg (VM id)
-//	request req_issued      → req_completed | req_deadletter              per Arg (VM id)
+//	attempt  req_attempt    → req_retry | req_completed | req_deadletter  per Arg (VM id)
+//	request  req_issued     → req_completed | req_deadletter | req_shed   per Arg (VM id)
+//	overload overload_enter → overload_exit   per CPU (-1; LIFO nests rungs)
 //
 // A preempt closes both the open lend and the open reclaim window on
 // its CPU: the reclaim is the tail of the lend it interrupts.
@@ -161,6 +162,21 @@ func Derive(events []trace.Event) Derivation {
 			// dead-letter closed it); the instant itself is also marked so
 			// timelines show the resurrection point.
 			push("request", e.Arg, e)
+			mark(e)
+		case trace.KindRequestShed:
+			// A shed closes the request span like the other terminals (no
+			// attempt span can be open: sheds happen before provisioning);
+			// the instant marks the shed point with its reason.
+			pop("request", e.Arg, e)
+			mark(e)
+		case trace.KindOverloadEnter:
+			// Each rung up opens an "overload" span; each rung down closes
+			// the most recent one (LIFO), so nested rungs render as nested
+			// intervals on the -1 track. Both edges also mark instants.
+			push("overload", int64(e.CPU), e)
+			mark(e)
+		case trace.KindOverloadExit:
+			pop("overload", int64(e.CPU), e)
 			mark(e)
 		case trace.KindSchedSwitch, trace.KindReclaimEscalate,
 			trace.KindDefenseRecover, trace.KindNodeRejoin:

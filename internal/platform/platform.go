@@ -106,7 +106,8 @@ func DefaultTraceKinds() []trace.Kind {
 		trace.KindRequestRetry, trace.KindRequestCompleted,
 		trace.KindRequestDeadLetter, trace.KindReclaimEscalate,
 		trace.KindDefenseRecover, trace.KindNodeRejoin,
-		trace.KindRequestResurrected,
+		trace.KindRequestResurrected, trace.KindRequestShed,
+		trace.KindOverloadEnter, trace.KindOverloadExit,
 	}
 }
 

@@ -12,13 +12,16 @@ package sim
 var StreamNames = []string{
 	// Cluster control plane and request lifecycle.
 	"cluster",
+	"cluster.admit",
 	"cluster.requeue",
 	"cluster.retry",
+	"cluster.shed",
 	"mon%d",
 	"vm%d",
 	"vm%d.retry%d",
 	"vmdel%d",
 	// Core scheduling and recovery.
+	"core.overload",
 	"core.recovery",
 	// Fault injection.
 	"faults.coord",

@@ -85,6 +85,20 @@ const (
 	// re-entering the pipeline under the bounded requeue policy. Arg is
 	// the VM id; Note carries the resurrection ordinal ("life2", ...).
 	KindRequestResurrected
+	// KindRequestShed marks a VM-creation request rejected or shed by the
+	// admission gate (ARCHITECTURE.md §6.6) — a terminal outcome distinct
+	// from dead-letter: no provisioning attempt was consumed and no
+	// device inventory existed to roll back. Arg is the VM id; Note
+	// carries the shed reason ("brownout" gate rejection or "sojourn"
+	// queue-deadline expiry).
+	KindRequestShed
+	// KindOverloadEnter / KindOverloadExit mark the overload ladder
+	// (normal→throttle→shed→brownout) moving one rung up or down. CPU is
+	// -1 (scheduler-wide), Arg is the rung arrived at (OverloadState
+	// ordinal), Note its name. The audit replayer checks the transitions
+	// form a lattice-legal ±1 walk.
+	KindOverloadEnter
+	KindOverloadExit
 )
 
 var kindNames = map[Kind]string{
@@ -113,6 +127,9 @@ var kindNames = map[Kind]string{
 	KindDefenseRecover:       "defense_recover",
 	KindNodeRejoin:           "node_rejoin",
 	KindRequestResurrected:   "req_resurrected",
+	KindRequestShed:          "req_shed",
+	KindOverloadEnter:        "overload_enter",
+	KindOverloadExit:         "overload_exit",
 }
 
 // Kinds returns every named kind in declaration order — the exporter's

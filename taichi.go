@@ -142,6 +142,53 @@ type BreakerConfig = controlplane.BreakerConfig
 // per retry with 20% deterministic jitter.
 func DefaultRetryPolicy() RetryPolicy { return cluster.DefaultRetryPolicy() }
 
+// AdmissionPolicy governs the deterministic admission gate on the
+// VM-startup pipeline: a token bucket plus a CoDel-style queue-deadline
+// shedder with strict-priority classes. The zero value disables the
+// machinery entirely.
+type AdmissionPolicy = cluster.AdmissionPolicy
+
+// Priority is a VM-creation request's priority class (batch, normal,
+// latency-critical). Shedding is strict-priority: batch sheds first,
+// latency-critical last.
+type Priority = cluster.Priority
+
+// Priority classes, lowest (first to shed) to highest (last to shed).
+const (
+	PriorityBatch           = cluster.PriorityBatch
+	PriorityNormal          = cluster.PriorityNormal
+	PriorityLatencyCritical = cluster.PriorityLatencyCritical
+)
+
+// OverloadPolicy tunes the node's brownout ladder: the lending-pressure
+// index sampling, the normal→throttle→shed→brownout escalation
+// thresholds, and the hysteretic cooldown-gated de-escalation.
+type OverloadPolicy = core.OverloadPolicy
+
+// OverloadState is the node's overload-ladder rung.
+type OverloadState = core.OverloadState
+
+// Overload rungs, in escalation order.
+const (
+	OverloadNormal   = core.OverloadNormal
+	OverloadThrottle = core.OverloadThrottle
+	OverloadShed     = core.OverloadShed
+	OverloadBrownout = core.OverloadBrownout
+)
+
+// DefaultAdmissionPolicy returns the overload experiments' gate tuning:
+// 24 admissions/s refill, burst 8, 400 ms base sojourn threshold with
+// per-class and per-overload-level scaling.
+func DefaultAdmissionPolicy() AdmissionPolicy { return cluster.DefaultAdmissionPolicy() }
+
+// DefaultOverloadPolicy returns the brownout-ladder tuning used by the
+// overload experiments.
+func DefaultOverloadPolicy() OverloadPolicy { return core.DefaultOverloadPolicy() }
+
+// DefaultClassify is the deterministic 50/40/10 batch/normal/latency-
+// critical class mix, assigned by request id.
+func DefaultClassify(id int) Priority { return cluster.DefaultClassify(id) }
+
 // DefaultBreakerConfig returns the standard CP→DP breaker tuning: trip
 // after 5 consecutive failures, half-open after 5 ms, 2 ms ack deadline.
 func DefaultBreakerConfig() BreakerConfig { return controlplane.DefaultBreakerConfig() }
