@@ -11,9 +11,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test test-race race bench bench-go bench-smoke chaos-smoke audit-smoke overload-smoke
+.PHONY: check fmt vet lint build test test-race race bench bench-go bench-smoke chaos-smoke audit-smoke overload-smoke placement-smoke
 
-check: fmt vet lint build test-race bench-smoke audit-smoke overload-smoke
+check: fmt vet lint build test-race bench-smoke audit-smoke overload-smoke placement-smoke
 
 # Determinism lint: wall clocks, global RNG, unordered map iteration,
 # core concurrency, and seedless constructors. Zero diagnostics is the
@@ -49,7 +49,7 @@ race:
 	$(GO) test -race -count=2 -shuffle=on -timeout 60m ./...
 
 # Perf-regression harness: run the pinned scenarios (fig2, fig17,
-# chaos, vmstartup) and emit BENCH_taichi.json — ns/op, events/sec,
+# chaos, vmstartup, overload, placement) and emit BENCH_taichi.json — ns/op, events/sec,
 # allocs/op per scenario. The simulation-side fields in the artifact
 # (events/op, simulated ns/op) are seed-pinned and double as a replay
 # check; see OBSERVABILITY.md for how to read and diff the file.
@@ -86,6 +86,18 @@ audit-smoke:
 overload-smoke:
 	$(GO) run ./cmd/taichi-sim -mode taichi -workload vmstartup -retry -overload -dur 2s -audit > /dev/null
 	$(GO) test -count=1 -run 'TestOverloadAcceptance|TestOverloadParallelDeterminism|TestAuditTotalsAgreeWithManagerCounters' .
+
+# Cluster-placement gate: a placed fleet under the pressure policy must
+# end with zero audit violations (taichi-sim exits non-zero otherwise),
+# the placement acceptance sweep must hold — pressure beating blind
+# round-robin on p99 startup latency and hotspot dwell, migrations
+# inside the per-scan budget, byte-identical output across worker
+# counts — and a populated-but-disabled placement policy must stay
+# invisible. Part of `make check` so a placer or signal regression
+# fails pre-commit.
+placement-smoke:
+	$(GO) run ./cmd/taichi-sim -nodes 4 -place pressure -util 0.3 -audit > /dev/null
+	$(GO) test -count=1 -run 'TestPlacementAcceptance|TestPlacementParallelDeterminism|TestFacadeZeroPlacementIdentity' .
 
 # One go-test benchmark per paper artifact plus the fleet speedup pair.
 bench-go:

@@ -13,7 +13,9 @@ import (
 	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -140,6 +142,47 @@ var perfScenarios = []perfScenario{
 				}
 			}
 			return tc.Engine().Fired(), sim.Duration(tc.Engine().Now()), vmSnapshot(tc.Engine().Fired(), mgr)
+		},
+	},
+	{
+		name: "placement",
+		desc: "cluster placer, pressure policy over a 3-node placed fleet (placement + migration hot path)",
+		run: func() (uint64, sim.Duration, *obs.Snapshot) {
+			const nodes = 3
+			members := make([]*placement.ClusterNode, nodes)
+			ifaces := make([]placement.Member, nodes)
+			for i := 0; i < nodes; i++ {
+				tc := core.NewDefault(perfSeed + int64(i))
+				tc.Sched.EnableOverload(core.DefaultOverloadPolicy())
+				bg := workload.NewBackground(tc.Node, workload.DefaultBackground(0.25))
+				bg.Start()
+				cfg := cluster.DefaultConfig(1)
+				cfg.VMLifetime = 0
+				cfg.Retry = cluster.DefaultRetryPolicy()
+				cfg.Placement = cluster.DefaultPlacementPolicy()
+				mgr := cluster.NewManager(tc, cfg)
+				mgr.Start()
+				members[i] = placement.NewClusterNode(tc, mgr)
+				ifaces[i] = members[i]
+			}
+			pcfg := placement.DefaultConfig()
+			pcfg.VMs = 16
+			pcfg.Workers = 1
+			eng := placement.NewEngine(perfSeed, pcfg, ifaces)
+			st := eng.Run()
+			var fired uint64
+			startup := metrics.NewHistogram("vm_startup")
+			for _, m := range members {
+				fired += m.TC.Engine().Fired()
+				startup.Merge(m.Mgr.StartupTime)
+			}
+			snap := obs.NewSnapshot()
+			snap.AddCounter("engine_events", fired)
+			snap.AddHistogram("vm_startup", startup)
+			snap.AddCounter("placement_placed", uint64(st.Placed))
+			snap.AddCounter("placement_migrations", uint64(st.MigrationsDone))
+			snap.AddCounter("placement_scans", uint64(st.Scans))
+			return fired, sim.Duration(members[0].TC.Engine().Now()), snap
 		},
 	},
 }

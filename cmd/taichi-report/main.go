@@ -117,6 +117,9 @@ func renderResult(r result) {
 	if line := overloadLine(r.Values); line != "" {
 		fmt.Printf("> %s\n\n", line)
 	}
+	if line := placementLine(r.Values); line != "" {
+		fmt.Printf("> %s\n\n", line)
+	}
 	for _, n := range r.Notes {
 		fmt.Printf("> %s\n\n", n)
 	}
@@ -240,6 +243,45 @@ func overloadLine(values map[string]float64) string {
 	}
 	return fmt.Sprintf("overload: shed batch=%g normal=%g latency-critical=%g; %s; latency-critical goodput at %s: %g/%g (%.0f%%)",
 		shedBatch, shedNormal, shedLC, ladder, top, lcDone, lcIssued, lcPct)
+}
+
+// placementLine summarizes the placement sweep when the result carries
+// plc_* values: the headline pressure-vs-round-robin comparison (p99
+// VM-startup latency and hotspot dwell), the fleet-wide migration count,
+// and the audit verdict across every policy. It returns "" for results
+// without those keys.
+func placementLine(values map[string]float64) string {
+	keys := make([]string, 0, len(values))
+	for k := range values { //taichi:allow maporder — keys are sorted before iteration below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var policies []string
+	migrations, violations := 0.0, 0.0
+	for _, k := range keys {
+		if !strings.HasPrefix(k, "plc_settled_") {
+			continue
+		}
+		pol := strings.TrimPrefix(k, "plc_settled_")
+		policies = append(policies, pol)
+		migrations += values["plc_migrations_done_"+pol]
+		violations += values["plc_audit_violations_"+pol]
+	}
+	if len(policies) == 0 {
+		return ""
+	}
+	auditMsg := "all policy traces replayed audit-clean"
+	if violations > 0 {
+		auditMsg = fmt.Sprintf("WARNING — %g audit violations", violations)
+	}
+	pP99, rP99 := values["plc_p99_ms_pressure"], values["plc_p99_ms_rr"]
+	pDwell, rDwell := values["plc_dwell_pressure"], values["plc_dwell_rr"]
+	verdict := "pressure beat round-robin on p99 startup latency and hotspot dwell"
+	if pP99 >= rP99 || pDwell >= rDwell {
+		verdict = "WARNING — pressure did not beat round-robin on both p99 and dwell"
+	}
+	return fmt.Sprintf("placement: p99 pressure=%.0fms vs rr=%.0fms, dwell pressure=%g vs rr=%g — %s; %g live migrations completed fleet-wide; %s",
+		pP99, rP99, pDwell, rDwell, verdict, migrations, auditMsg)
 }
 
 // outcomeLine summarizes the request-lifecycle invariant when the

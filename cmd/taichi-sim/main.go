@@ -15,6 +15,8 @@
 //	taichi-sim -faults default -recover -audit    # + invariant audit after the run
 //	taichi-sim -workload vmstartup -retry -cp 4 -nodes 8 -failover \
 //	           -faults exit-stall=0.2,cp-crash=0.05,nack=0.2,coord-timeout=0.1
+//	taichi-sim -nodes 8 -place pressure           # signal-driven cluster placer
+//	taichi-sim -nodes 8 -place rr -rebalance=false
 //
 // Modes: taichi, static, type1, type2, naive.
 // Workloads: none, ping, crr, stream, rr, fio, mysql, nginx, vmstartup.
@@ -45,6 +47,15 @@
 // mode a member that ends its run browned-out is excluded from the
 // re-dispatch ring even when healthy.
 //
+// -place <policy> switches the fleet under the cluster placer
+// (internal/placement): instead of each node running its own arrival
+// process, VM startups arrive at cluster level and the chosen policy
+// (rr, spread, binpack, pressure) routes each one to a member using the
+// overload ladder's live signals; -rebalance (on by default) also runs
+// the hotspot scan + budgeted live-migration loop. Requires -nodes > 1;
+// -util sets every member's background, -overload arms the admission
+// gates, -audit replays the placer trace too.
+//
 // -audit replays every node's trace through the runtime invariant
 // auditor (internal/audit) after the run and exits non-zero on any
 // violation.
@@ -67,6 +78,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -435,6 +447,8 @@ func main() {
 	overload := flag.Bool("overload", false, "arm the overload-control layer: the core brownout ladder, and (with -workload vmstartup) the priority-aware admission gate and shedder")
 	auditFlag := flag.Bool("audit", false, "replay every node's trace through the runtime invariant auditor after the run; exit 1 on any violation")
 	failover := flag.Bool("failover", false, "fleet mode: re-dispatch requests stranded on unhealthy nodes to healthy ones (-workload vmstartup, -nodes > 1)")
+	place := flag.String("place", "", "cluster placement policy: rr | spread | binpack | pressure (placed fleet mode, -nodes > 1)")
+	rebalance := flag.Bool("rebalance", true, "with -place: run the hotspot scan + budgeted live-migration loop")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.prom = Prometheus text, anything else = JSON)")
 	simprof := flag.Bool("simprof", false, "engine self-profiling: per-event-class dispatch counts, heap high-water mark, wall-clock attribution (single-node only)")
 	flag.Parse()
@@ -449,6 +463,23 @@ func main() {
 	if *failover && (*wl != "vmstartup" || *nodes <= 1) {
 		fmt.Fprintln(os.Stderr, "-failover needs -workload vmstartup and -nodes > 1")
 		os.Exit(2)
+	}
+	if *place != "" {
+		pol := placement.Policy(*place)
+		if !pol.Valid() {
+			fmt.Fprintf(os.Stderr, "unknown placement policy %q (rr | spread | binpack | pressure)\n", *place)
+			os.Exit(2)
+		}
+		if *nodes <= 1 {
+			fmt.Fprintln(os.Stderr, "-place needs -nodes > 1")
+			os.Exit(2)
+		}
+		if *failover {
+			fmt.Fprintln(os.Stderr, "-place and -failover are different fleet dispatchers; pick one")
+			os.Exit(2)
+		}
+		runPlaced(pol, *rebalance, *overload, *auditFlag, *seed, *util, *nodes, *parallel)
+		return
 	}
 
 	if *nodes > 1 {
@@ -612,6 +643,82 @@ func writeMetrics(path string, snap *obs.Snapshot) {
 		os.Exit(1)
 	}
 	fmt.Printf("metrics snapshot written to %s\n", path)
+}
+
+// runPlaced executes the placed fleet: n Tai Chi nodes under the cluster
+// placer, VM startups arriving at cluster level and routed by the chosen
+// policy, with the rebalance loop optionally live-migrating residents
+// off hotspots. The run drains when every startup settles; output is
+// seed-deterministic for any -parallel value.
+func runPlaced(pol placement.Policy, rebalance, ovl, auditFlag bool, seed int64, util float64, n, workers int) {
+	start := time.Now() //taichi:allow walltime — operator-facing wall-clock cost of the run; never enters simulated state
+	members := make([]*placement.ClusterNode, n)
+	ifaces := make([]placement.Member, n)
+	for i := 0; i < n; i++ {
+		tc := core.NewDefault(fleet.MemberSeed(seed, i))
+		tc.Sched.EnableOverload(core.DefaultOverloadPolicy())
+		if util > 0 {
+			bg := workload.NewBackground(tc.Node, workload.DefaultBackground(util))
+			bg.Start()
+		}
+		ccfg := cluster.DefaultConfig(1)
+		ccfg.VMLifetime = 0
+		ccfg.Retry = cluster.DefaultRetryPolicy()
+		if ovl {
+			ccfg.Admission = cluster.DefaultAdmissionPolicy()
+			ccfg.Classify = cluster.DefaultClassify
+			ccfg.OverloadLevel = func() int { return int(tc.Sched.OverloadState()) }
+		}
+		ccfg.Placement = cluster.DefaultPlacementPolicy()
+		mgr := cluster.NewManager(tc, ccfg)
+		mgr.Start()
+		members[i] = placement.NewClusterNode(tc, mgr)
+		ifaces[i] = members[i]
+	}
+
+	pcfg := placement.DefaultConfig()
+	pcfg.Policy = pol
+	pcfg.Rebalance = rebalance
+	pcfg.Workers = workers
+	eng := placement.NewEngine(seed, pcfg, ifaces)
+	st := eng.Run()
+	wall := time.Since(start) //taichi:allow walltime — paired with the start stamp above, reported alongside simulated time
+
+	startup := metrics.NewHistogram("vm.startup")
+	var completed, dead uint64
+	for _, m := range members {
+		startup.Merge(m.Mgr.StartupTime)
+		completed += m.Mgr.Completed
+		dead += m.Mgr.DeadLettered()
+	}
+	fmt.Printf("place=%s nodes=%d rebalance=%v vms=%d wall=%.2fs\n",
+		pol, n, rebalance, pcfg.VMs, wall.Seconds())
+	fmt.Printf("placement: placed=%d replaced=%d cluster-dead=%d bounce-dead=%d scans=%d\n",
+		st.Placed, st.Replaced, st.AllExcluded, st.BounceDead, st.Scans)
+	fmt.Printf("rebalance: migrations=%d/%d dwell=%d max-starts/scan=%d (budget %d) pause=%v\n",
+		st.MigrationsDone, st.MigrationsStarted, st.HotScans,
+		st.MaxStartsPerScan, pcfg.MigrationBudget, st.PauseTotal)
+	fmt.Printf("vmstartup: completed=%d dead-lettered=%d startup mean %v p99 %v\n",
+		completed, dead, startup.Mean(), startup.Quantile(0.99))
+	if auditFlag {
+		violations := 0
+		rep := audit.Run(eng.Tracer().Events(), audit.Options{})
+		violations += len(rep.Violations)
+		if !rep.Ok() {
+			fmt.Printf("placer %s", rep.String())
+		}
+		for i, m := range members {
+			nrep := audit.Run(m.TC.Node.Tracer.Events(), audit.Options{})
+			violations += len(nrep.Violations)
+			if !nrep.Ok() {
+				fmt.Printf("node%d %s", i, nrep.String())
+			}
+		}
+		fmt.Printf("audit: nodes=%d violations=%d\n", n, violations)
+		if violations > 0 {
+			os.Exit(1)
+		}
+	}
 }
 
 // runFleet executes the scenario on n independently-seeded nodes via the

@@ -143,6 +143,53 @@ func TestFacadeZeroOverloadIdentity(t *testing.T) {
 	}
 }
 
+// TestFacadeZeroPlacementIdentity is the placement layer's regression
+// contract, the placed-mode analogue of TestFacadeZeroOverloadIdentity:
+// a fully populated but not Enabled cluster.PlacementPolicy must be
+// invisible — identical Describe output and event count versus a run
+// that never mentions placement, across seeds. Only Enabled switches the
+// manager into placed mode, derives the per-VM load streams, and parks
+// dead-letters for the placer; while false, Submit and HostVM are inert.
+func TestFacadeZeroPlacementIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 17, 404} {
+		run := func(withPolicy bool) (string, uint64) {
+			sys := taichi.New(seed)
+			cfg := cluster.DefaultConfig(2)
+			cfg.VMs = 6
+			cfg.VMLifetime = 0
+			cfg.Retry = cluster.DefaultRetryPolicy()
+			if withPolicy {
+				pol := cluster.DefaultPlacementPolicy()
+				pol.Enabled = false // populated knobs, placed mode disarmed
+				cfg.Placement = pol
+			}
+			mgr := cluster.NewManager(sys, cfg)
+			mgr.Start()
+			if withPolicy {
+				if req := mgr.Submit(); req != nil {
+					t.Fatalf("seed %d: Submit issued a request with placement disabled", seed)
+				}
+				mgr.HostVM(1)
+				if n := mgr.ResidentVMs(); n != 0 {
+					t.Fatalf("seed %d: HostVM hosted %d VMs with placement disabled", seed, n)
+				}
+			}
+			sys.Run(taichi.Seconds(1))
+			return sys.Describe(), sys.Engine().Fired()
+		}
+		plainOut, plainFired := run(false)
+		polOut, polFired := run(true)
+		if plainOut != polOut {
+			t.Fatalf("seed %d: disabled placement policy changed Describe output\n--- without\n%s--- with\n%s",
+				seed, plainOut, polOut)
+		}
+		if plainFired != polFired {
+			t.Fatalf("seed %d: disabled placement policy changed event count %d -> %d",
+				seed, plainFired, polFired)
+		}
+	}
+}
+
 // TestBackwardCompatGolden pins the request-lifecycle layer's
 // backward-compatibility contract: with retries disabled and zero fault
 // rate, the fig2/fig17 renders and the chaos fault-rate sweep table are

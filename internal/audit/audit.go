@@ -20,6 +20,7 @@ package audit
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/controlplane"
@@ -33,7 +34,9 @@ type Violation struct {
 	// Code identifies the invariant: "double-lend", "vcpu-two-cores",
 	// "unmatched-vm-exit", "unmatched-reclaim", "request-order",
 	// "request-conservation", "mode-lattice", "overload-lattice",
-	// "breaker-legality", "truncated-trace".
+	// "breaker-legality", "truncated-trace", "placement-residency",
+	// "placement-excluded", "placement-scan", "migration-order",
+	// "migration-conservation".
 	Code string
 	// At is the simulated instant of the offending event (0 for
 	// end-of-run conservation checks).
@@ -199,6 +202,16 @@ func Run(events []trace.Event, opts Options) *Report {
 	// carried as the overload_enter/exit Arg); transitions must move
 	// exactly one rung — up on enter, down on exit.
 	ovl := int64(0)
+	// Cluster-placement mirror (vm_place / vm_migrate_* / rebalance_scan,
+	// the placement engine's cluster-level trace): which member each VM
+	// is resident on, the in-flight migrations, and the exclusion set the
+	// latest rebalance scan declared at decision time.
+	vmNode := map[int64]int{} // VM id → resident member index
+	type migration struct{ src, dst int }
+	migOpen := map[int64]migration{} // VM id → in-flight migration
+	excluded := map[int]bool{}
+	sawScan := false
+	migStarts, migDones := 0, 0
 
 	for _, e := range events {
 		switch e.Kind {
@@ -334,6 +347,70 @@ func Run(events []trace.Event, opts Options) *Report {
 				add(e, "overload-lattice", "overload_exit to rung %d outside the ladder (0..2)", e.Arg)
 			}
 			ovl = e.Arg
+		case trace.KindRebalanceScan:
+			set, ok := parseExclusions(e.Note)
+			if !ok {
+				add(e, "placement-scan", "rebalance_scan note %q is not \"hot=... excl=...\"; exclusion checks need the decision record", e.Note)
+				break
+			}
+			excluded = set
+			sawScan = true
+		case trace.KindVMPlace:
+			if e.CPU < 0 {
+				// Cluster-level dead-letter: every member excluded at
+				// decision time. The VM gains no residency; a re-place
+				// attempt of a node-dead request sheds whatever stale
+				// residency entry the mirror still holds.
+				delete(vmNode, e.Arg)
+				break
+			}
+			if prev, resident := vmNode[e.Arg]; resident && e.Note != "replaced" {
+				add(e, "placement-residency", "vm_place of VM %d on member %d while still resident on member %d", e.Arg, e.CPU, prev)
+			}
+			if sawScan && excluded[e.CPU] {
+				add(e, "placement-excluded", "vm_place of VM %d on member %d, excluded at decision time", e.Arg, e.CPU)
+			}
+			if _, mig := migOpen[e.Arg]; mig {
+				add(e, "placement-residency", "vm_place of VM %d while a migration is in flight", e.Arg)
+			}
+			vmNode[e.Arg] = e.CPU
+		case trace.KindVMMigrateStart:
+			migStarts++
+			dst, ok := parseMember(e.Note, "to=")
+			if !ok {
+				add(e, "migration-order", "vm_migrate_start note %q carries no \"to=<member>\"", e.Note)
+				break
+			}
+			if src, resident := vmNode[e.Arg]; !resident {
+				add(e, "migration-order", "vm_migrate_start of VM %d which is resident nowhere", e.Arg)
+			} else if src != e.CPU {
+				add(e, "migration-order", "vm_migrate_start of VM %d from member %d but it is resident on member %d", e.Arg, e.CPU, src)
+			}
+			if _, open := migOpen[e.Arg]; open {
+				add(e, "migration-order", "vm_migrate_start of VM %d with a migration already in flight", e.Arg)
+			}
+			if dst == e.CPU {
+				add(e, "migration-order", "vm_migrate_start of VM %d to its own member %d", e.Arg, dst)
+			}
+			if sawScan && excluded[dst] {
+				add(e, "placement-excluded", "vm_migrate_start of VM %d targets member %d, excluded at decision time", e.Arg, dst)
+			}
+			migOpen[e.Arg] = migration{src: e.CPU, dst: dst}
+		case trace.KindVMMigrateDone:
+			migDones++
+			m, open := migOpen[e.Arg]
+			if !open {
+				add(e, "migration-order", "vm_migrate_done of VM %d without a matching start", e.Arg)
+				break
+			}
+			if m.dst != e.CPU {
+				add(e, "migration-order", "vm_migrate_done of VM %d on member %d but the start targeted member %d", e.Arg, e.CPU, m.dst)
+			}
+			delete(migOpen, e.Arg)
+			// Residency moves source → target only now: the VM ran on the
+			// source for the whole copy (live migration), so at no instant
+			// was it resident on two members or on none.
+			vmNode[e.Arg] = e.CPU
 		default:
 			// Every kind must be replayed above or declared out of scope;
 			// an event in neither set means the schema grew past the
@@ -342,6 +419,15 @@ func Run(events []trace.Event, opts Options) *Report {
 				add(e, "unhandled-kind", "event kind %s is neither replayed nor declared out of scope", e.Kind)
 			}
 		}
+	}
+
+	// Migration conservation: every start is matched by a done or still
+	// in flight at the horizon. Unmatched dones above break the identity
+	// here too, so a trace that pairs wrongly cannot balance.
+	if migStarts != migDones+len(migOpen) {
+		addEnd("migration-conservation",
+			"migration starts=%d != dones=%d + in-flight-at-horizon=%d",
+			migStarts, migDones, len(migOpen))
 	}
 
 	// Residency still open at the horizon is legal truncation (the run
@@ -392,4 +478,66 @@ func Run(events []trace.Event, opts Options) *Report {
 		}
 	}
 	return rep
+}
+
+// parseExclusions strict-parses a rebalance_scan note of the form
+// "hot=<list> excl=<list>" where each list is either "-" (empty) or a
+// comma-separated run of member indices, and returns the exclusion set.
+// Anything else is malformed: the auditor refuses to guess at a decision
+// record it cannot read.
+func parseExclusions(note string) (map[int]bool, bool) {
+	hotPart, exclPart, ok := strings.Cut(note, " ")
+	if !ok || !strings.HasPrefix(hotPart, "hot=") || !strings.HasPrefix(exclPart, "excl=") {
+		return nil, false
+	}
+	if _, ok := parseMemberList(strings.TrimPrefix(hotPart, "hot=")); !ok {
+		return nil, false
+	}
+	excl, ok := parseMemberList(strings.TrimPrefix(exclPart, "excl="))
+	if !ok {
+		return nil, false
+	}
+	set := make(map[int]bool, len(excl))
+	for _, m := range excl {
+		set[m] = true
+	}
+	return set, true
+}
+
+// parseMemberList parses "-" (empty) or "3,7,12" into member indices.
+func parseMemberList(s string) ([]int, bool) {
+	if s == "-" {
+		return nil, true
+	}
+	if s == "" {
+		return nil, false
+	}
+	parts := strings.Split(s, ",")
+	members := make([]int, 0, len(parts))
+	for _, p := range parts {
+		m, err := strconv.Atoi(p)
+		if err != nil || m < 0 {
+			return nil, false
+		}
+		members = append(members, m)
+	}
+	return members, true
+}
+
+// parseMember extracts the member index after the given key (for
+// example "to=" in a vm_migrate_start note, "from=" in a done).
+func parseMember(note, key string) (int, bool) {
+	idx := strings.Index(note, key)
+	if idx < 0 {
+		return 0, false
+	}
+	rest := note[idx+len(key):]
+	if end := strings.IndexAny(rest, " ,"); end >= 0 {
+		rest = rest[:end]
+	}
+	m, err := strconv.Atoi(rest)
+	if err != nil || m < 0 {
+		return 0, false
+	}
+	return m, true
 }

@@ -109,6 +109,11 @@ type AdmissionPolicy struct {
 	// core.OverloadState ordinal: normal, throttle, shed, brownout).
 	// Zero entries take the defaults.
 	RateFactor [4]float64
+	// BurstFactor scales the bucket depth per overload level: a
+	// pressured member should not be able to absorb a routed burst on
+	// banked tokens when its sustained rate is already clamped. The
+	// default leaves the depth untouched at every rung.
+	BurstFactor [4]float64
 	// SojournFactor scales every sojourn threshold per overload level —
 	// the shedder's reach widens (thresholds shrink) as the ladder
 	// climbs. Zero entries take the defaults.
@@ -129,6 +134,7 @@ func DefaultAdmissionPolicy() AdmissionPolicy {
 		JitterFrac:         0.2,
 		ClassSojournFactor: [NumPriorities]float64{0.5, 1.0, 2.0},
 		RateFactor:         [4]float64{1.0, 0.7, 0.4, 0.2},
+		BurstFactor:        [4]float64{1.0, 1.0, 1.0, 1.0},
 		SojournFactor:      [4]float64{1.0, 0.75, 0.5, 0.25},
 	}
 }
@@ -168,6 +174,11 @@ func (p AdmissionPolicy) normalize() AdmissionPolicy {
 			p.RateFactor[i] = d.RateFactor[i]
 		}
 	}
+	for i := range p.BurstFactor {
+		if p.BurstFactor[i] <= 0 {
+			p.BurstFactor[i] = d.BurstFactor[i]
+		}
+	}
 	for i := range p.SojournFactor {
 		if p.SojournFactor[i] <= 0 {
 			p.SojournFactor[i] = d.SojournFactor[i]
@@ -193,18 +204,20 @@ func (m *Manager) overloadLevel() int {
 }
 
 // refillTokens banks tokens accrued since the last refill at the
-// level-adjusted rate, capped at the bucket depth.
+// level-adjusted rate, capped at the level-adjusted bucket depth. The
+// depth clamp applies even when no time has passed: tokens banked at a
+// lower rung are not spendable once the ladder has climbed past them.
 func (m *Manager) refillTokens(level int) {
 	now := m.host.Engine().Now()
 	dt := now.Sub(m.lastRefill)
 	m.lastRefill = now
-	if dt <= 0 {
-		return
+	if dt > 0 {
+		rate := m.cfg.Admission.Rate * m.cfg.Admission.RateFactor[level]
+		m.tokens += rate * float64(dt) / float64(sim.Second)
 	}
-	rate := m.cfg.Admission.Rate * m.cfg.Admission.RateFactor[level]
-	m.tokens += rate * float64(dt) / float64(sim.Second)
-	if m.tokens > m.cfg.Admission.Burst {
-		m.tokens = m.cfg.Admission.Burst
+	depth := m.cfg.Admission.Burst * m.cfg.Admission.BurstFactor[level]
+	if m.tokens > depth {
+		m.tokens = depth
 	}
 }
 
@@ -345,13 +358,18 @@ func (m *Manager) shedSweep() {
 // shed is the ReqShed terminal: record the reason, count it (globally
 // and per class), and emit the req_shed trace event. No device rollback
 // — the request never reached provisioning — and no requeue: a shed is
-// the client's problem by design.
+// the client's problem by design. In placed mode the client is the
+// cluster placer, so the shed also parks for DrainDeadLetters and the
+// placer re-routes the VM to a member that is not defending itself.
 func (m *Manager) shed(req *Request, reason string) {
 	req.state = ReqShed
 	req.Reason = reason
 	m.cShed.Inc()
 	m.shedByClass[req.Class]++
 	m.emit(trace.KindRequestShed, req.ID, reason)
+	if m.cfg.Placement.Enabled {
+		m.placedDead = append(m.placedDead, req)
+	}
 }
 
 // dispatch moves an admitted request into provisioning — the exact path

@@ -169,3 +169,42 @@ func TestResurrectionDefersWhileMemberSheds(t *testing.T) {
 		t.Fatalf("shed = %d; resurrection must bypass the admission gate", mgr.Shed())
 	}
 }
+
+// TestBurstFactorClampsBankedTokens pins the per-rung bucket depth: a
+// member that climbed the ladder must not spend tokens banked at a
+// lower rung — the depth clamp applies immediately, not only after the
+// next refill interval. A zero BurstFactor normalizes to all-1.0 and
+// leaves the pre-clamp behavior untouched.
+func TestBurstFactorClampsBankedTokens(t *testing.T) {
+	issue := func(burstFactor [4]float64) *Manager {
+		tc := core.NewDefault(84)
+		cfg := DefaultConfig(1)
+		cfg.VMLifetime = 0
+		cfg.Retry = DefaultRetryPolicy()
+		cfg.Admission = DefaultAdmissionPolicy()
+		cfg.Admission.Rate = 1 // slow refill: queue depth is all clamp
+		cfg.Admission.Burst = 8
+		cfg.Admission.BurstFactor = burstFactor
+		cfg.Classify = func(int) Priority { return PriorityNormal }
+		cfg.OverloadLevel = func() int { return 1 } // throttle from the start
+		mgr := NewManager(tc, cfg)
+		for i := 0; i < 6; i++ {
+			mgr.createVM()
+		}
+		return mgr
+	}
+
+	// Depth 8 × 0.25 = 2 at throttle: the 8 banked tokens shrink to 2
+	// before the first request spends one, so 4 of the 6 queue.
+	clamped := issue([4]float64{1.0, 0.25, 0.25, 0.25})
+	if q := clamped.QueuedAdmission(); q != 4 {
+		t.Fatalf("queued = %d with BurstFactor 0.25 at throttle, want 4", q)
+	}
+
+	// Zero value → defaults (all 1.0): the full banked burst admits
+	// every request instantly, exactly as before the knob existed.
+	plain := issue([4]float64{})
+	if q := plain.QueuedAdmission(); q != 0 {
+		t.Fatalf("queued = %d with default BurstFactor, want 0", q)
+	}
+}

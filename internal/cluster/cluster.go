@@ -96,6 +96,9 @@ type Config struct {
 	// manager spawns — the fault injector's WrapCP hook, so chaos runs
 	// can crash/hang provisioning jobs mid-flight.
 	WrapCP func(kernel.Program) kernel.Program
+	// Placement puts the manager under an external cluster placer
+	// (placement.go); the zero value disables it entirely.
+	Placement PlacementPolicy
 }
 
 // DefaultConfig mirrors the §6.6 setup.
@@ -168,6 +171,12 @@ type Manager struct {
 	shedArmed     bool
 	shedByClass   [NumPriorities]uint64
 
+	// Placed-mode state (placement.go): resident-VM load programs and
+	// the dead-letter parking lot the placer drains. Both stay nil when
+	// Placement is disabled.
+	vmLoads    map[int]*vmLoad
+	placedDead []*Request
+
 	stopped bool
 }
 
@@ -176,6 +185,7 @@ func NewManager(host Host, cfg Config) *Manager {
 	cfg.Retry = cfg.Retry.normalize()
 	cfg.Requeue = cfg.Requeue.normalize()
 	cfg.Admission = cfg.Admission.normalize()
+	cfg.Placement = cfg.Placement.normalize()
 	g := metrics.NewGroup("requests")
 	m := &Manager{
 		cfg:         cfg,
@@ -239,6 +249,12 @@ func (m *Manager) Start() {
 		m.host.SpawnCP(fmt.Sprintf("monitor%d", i),
 			controlplane.Monitor(mcfg, m.host.Stream(fmt.Sprintf("mon%d", i))))
 	}
+	if m.cfg.Placement.Enabled {
+		// Placed mode: arrivals come from the cluster placer via Submit,
+		// not the node-local Poisson process. Monitors still run — they
+		// are the node's own background, not request traffic.
+		return
+	}
 	m.scheduleNext()
 }
 
@@ -263,7 +279,12 @@ func (m *Manager) scheduleNext() {
 // deinitialization workflow. The request object tracks the creation to a
 // terminal state; with retries enabled, each attempt runs under a
 // deadline and failures detour through backoff or the dead-letter path.
-func (m *Manager) createVM() {
+func (m *Manager) createVM() { m.issueRequest() }
+
+// issueRequest is createVM's body, factored so placed mode (Submit) can
+// issue externally-routed requests through the identical lifecycle and
+// keep a handle on the request it created.
+func (m *Manager) issueRequest() *Request {
 	m.Issued++
 	id := int(m.Issued)
 	class := PriorityNormal
@@ -286,10 +307,11 @@ func (m *Manager) createVM() {
 	m.emit(trace.KindRequestIssued, id, note)
 	if m.cfg.Admission.Enabled {
 		m.admitOrEnqueue(req)
-		return
+		return req
 	}
 	m.provisionRecords(req)
 	m.beginAttempt(req)
+	return req
 }
 
 // provisionRecords fills the request's inventory records (one ENIC, the
@@ -446,6 +468,13 @@ func (m *Manager) deadLetter(req *Request, reason string) {
 	m.emit(trace.KindRequestDeadLetter, req.ID, reason)
 	for _, d := range req.records {
 		m.Devices.Abort(d)
+	}
+	if m.cfg.Placement.Enabled {
+		// The placer owns resurrection in placed mode: park the request
+		// for DrainDeadLetters so it re-enters through cluster placement
+		// instead of the node-local requeue pinning it here.
+		m.placedDead = append(m.placedDead, req)
+		return
 	}
 	m.maybeRequeue(req)
 }

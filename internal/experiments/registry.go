@@ -41,6 +41,7 @@ func Registry() []Named {
 		{"abl-ipiv", "Ablation: IPI virtualization", AblationIPIV},
 		{"chaos", "Chaos: fault-rate sweep with graceful degradation", Chaos},
 		{"overload", "Overload: offered-load sweep with admission gate and brownout ladder", OverloadSweep},
+		{"placement", "Placement: signal-driven scheduling vs round-robin across a skewed fleet", PlacementSweep},
 	}
 }
 

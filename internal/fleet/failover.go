@@ -34,6 +34,13 @@ type NodeReport struct {
 	// is excluded from the round-robin ring and counted as
 	// failover.nodes_browned_out. Its own stranded requests stay pending.
 	BrownedOut bool
+	// PlacerExcluded reports that the cluster placement engine excluded
+	// the node at its final rebalance scan (open breaker or brownout rung
+	// at decision time, internal/placement). Like BrownedOut it removes a
+	// Healthy node from the re-dispatch ring — the placer has already
+	// judged the node unfit for new work, and failover must not overrule
+	// it — and is counted as failover.nodes_placer_excluded.
+	PlacerExcluded bool
 }
 
 // FailoverMember runs one node to its horizon, reports into the member's
@@ -46,17 +53,26 @@ type FailoverMember func(idx int, seed int64, agg *Aggregates) NodeReport
 type Redispatch func(idx int, seed int64, count int, agg *Aggregates)
 
 // RunFailover executes n members, then re-dispatches the work stranded
-// on unhealthy nodes across the healthy, non-browned-out ones
-// (round-robin, index order). The merged aggregates gain six scalars:
-// failover.nodes_failed, failover.redispatched, failover.lost (stranded
-// requests with no eligible node left to take them), failover.pending
-// (requests left non-terminal at the horizon on healthy nodes — not
-// re-dispatched, since their node can still finish them, but surfaced so
-// stranded work never silently understates), failover.nodes_rejoined
-// (members that degraded mid-run but self-healed back to health by the
-// horizon), and failover.nodes_browned_out (healthy members excluded
-// from the re-dispatch ring because their overload ladder ended the run
-// in brownout). Output is byte-identical for any worker count.
+// on unhealthy nodes across the healthy, non-browned-out,
+// non-placer-excluded ones (round-robin, index order). The merged
+// aggregates gain seven scalars: failover.nodes_failed,
+// failover.redispatched, failover.lost (stranded requests with no
+// eligible node left to take them), failover.pending (requests left
+// non-terminal at the horizon on healthy nodes — not re-dispatched,
+// since their node can still finish them, but surfaced so stranded work
+// never silently understates), failover.nodes_rejoined (members that
+// degraded mid-run but self-healed back to health by the horizon),
+// failover.nodes_browned_out (healthy members excluded from the
+// re-dispatch ring because their overload ladder ended the run in
+// brownout), and failover.nodes_placer_excluded (healthy members the
+// cluster placer had excluded at its final scan).
+//
+// Ring membership is decided solely from the reports slice in member
+// index order — rejoin, brownout-exclusion, and placer-exclusion may
+// all flip in the same run without perturbing the order — and the
+// round-robin cursor advances over unhealthy nodes in the same index
+// order, so output is byte-identical for any worker count and any
+// combination of report flags.
 func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redispatch Redispatch) *Aggregates {
 	if n <= 0 {
 		panic("fleet: need at least one member")
@@ -72,12 +88,12 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 
 	var healthy []int
 	for i, rep := range reports {
-		if rep.Healthy && !rep.BrownedOut {
+		if rep.Healthy && !rep.BrownedOut && !rep.PlacerExcluded {
 			healthy = append(healthy, i)
 		}
 	}
 	counts := make([]int, len(healthy))
-	nodesFailed, redispatched, lost, pending, rejoined, brownedOut := 0, 0, 0, 0, 0, 0
+	nodesFailed, redispatched, lost, pending, rejoined, brownedOut, placerExcluded := 0, 0, 0, 0, 0, 0, 0
 	next := 0
 	for _, rep := range reports {
 		if rep.Healthy {
@@ -87,6 +103,9 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 			}
 			if rep.BrownedOut {
 				brownedOut++
+			}
+			if rep.PlacerExcluded {
+				placerExcluded++
 			}
 			continue
 		}
@@ -130,5 +149,6 @@ func RunFailover(n int, baseSeed int64, workers int, member FailoverMember, redi
 	total.Add("failover.pending", float64(pending))
 	total.Add("failover.nodes_rejoined", float64(rejoined))
 	total.Add("failover.nodes_browned_out", float64(brownedOut))
+	total.Add("failover.nodes_placer_excluded", float64(placerExcluded))
 	return total
 }

@@ -144,6 +144,72 @@ func TestFailoverRejoinedNodesAbsorbWork(t *testing.T) {
 	}
 }
 
+// TestFailoverRingMutationDeterminism is the drive-by audit pinned as a
+// regression: in one run, a node rejoins, another is brownout-excluded,
+// a third is placer-excluded, and a fourth fails outright. The
+// re-dispatch ring must come out the same — same membership, same
+// round-robin shares, same seeds — for every worker count, because ring
+// construction reads only the reports slice in index order. The shares
+// are seed-pinned: any drift to map-order or arrival-order dependence
+// breaks the exact counts below.
+func TestFailoverRingMutationDeterminism(t *testing.T) {
+	run := func(workers int) *Aggregates {
+		return RunFailover(8, 31, workers,
+			func(idx int, seed int64, agg *Aggregates) NodeReport {
+				switch idx {
+				case 0: // failed outright, strands work
+					return NodeReport{Healthy: false, Stranded: 5}
+				case 1: // self-healed: back in the ring at its old slot
+					return NodeReport{Healthy: true, Rejoined: true}
+				case 2: // brownout-excluded from the ring
+					return NodeReport{Healthy: true, BrownedOut: true, Stranded: 1}
+				case 3: // placer-excluded from the ring
+					return NodeReport{Healthy: true, PlacerExcluded: true, Stranded: 2}
+				case 5: // every exclusion at once: rejoined yet shedding and placer-barred
+					return NodeReport{Healthy: true, Rejoined: true, BrownedOut: true, PlacerExcluded: true}
+				default:
+					return NodeReport{Healthy: true}
+				}
+			},
+			func(idx int, seed int64, count int, agg *Aggregates) {
+				agg.Add(fmt.Sprintf("redispatch.node%d", idx), float64(count))
+				agg.Add(fmt.Sprintf("redispatch.seed%d", idx), float64(seed))
+			})
+	}
+	want := run(1)
+	// Ring = healthy minus browned-out minus placer-excluded: 1, 4, 6, 7.
+	// Node 0's 5 stranded round-robin → 2,1,1,1.
+	shares := map[int]float64{1: 2, 4: 1, 6: 1, 7: 1}
+	for idx, count := range shares {
+		if got := want.Scalar(fmt.Sprintf("redispatch.node%d", idx)); got != count {
+			t.Fatalf("node %d absorbed %v, want %v", idx, got, count)
+		}
+	}
+	for _, idx := range []int{2, 3, 5} {
+		if got := want.Scalar(fmt.Sprintf("redispatch.node%d", idx)); got != 0 {
+			t.Fatalf("excluded node %d absorbed %v re-dispatched requests", idx, got)
+		}
+	}
+	if got := want.Scalar("failover.nodes_browned_out"); got != 2 {
+		t.Fatalf("nodes_browned_out = %v, want 2", got)
+	}
+	if got := want.Scalar("failover.nodes_placer_excluded"); got != 2 {
+		t.Fatalf("nodes_placer_excluded = %v, want 2", got)
+	}
+	if got := want.Scalar("failover.nodes_rejoined"); got != 2 {
+		t.Fatalf("nodes_rejoined = %v, want 2", got)
+	}
+	// Excluded nodes' own stranded work stays pending, not lost.
+	if got := want.Scalar("failover.pending"); got != 3 {
+		t.Fatalf("pending = %v, want 3", got)
+	}
+	for _, workers := range []int{2, 8} {
+		if got := run(workers).Describe(); got != want.Describe() {
+			t.Fatalf("ring output differs between 1 and %d workers", workers)
+		}
+	}
+}
+
 // TestFailoverHealthyStrandedCountsAsPending: a healthy node that hits
 // the horizon with non-terminal requests keeps them (no re-dispatch),
 // but the work must surface in failover.pending rather than silently

@@ -142,6 +142,32 @@ func NewUnseededBrownout() *brownout {
 	return &brownout{r: rand.New(rand.NewSource(41))} // want `NewUnseededBrownout reaches a randomness source`
 }
 
+// Good: the cluster-placer shape — the arrival schedule, placement
+// tie-break, and migration victim-pick streams all spring from seed
+// material handed through the signature, mirroring placement.NewEngine's
+// seed parameter.
+type placerFix struct {
+	arriveR, chooseR, pickR *rand.Rand
+}
+
+func NewPlacer(seed int64) *placerFix {
+	return &placerFix{
+		arriveR: rand.New(rand.NewSource(seed + 1)),
+		chooseR: rand.New(rand.NewSource(seed + 2)),
+		pickR:   rand.New(rand.NewSource(seed + 3)),
+	}
+}
+
+// Bad: a placer with invented streams — no arrival instant, placement
+// tie-break, or migration victim pick can ever replay.
+func NewUnseededPlacer() *placerFix {
+	return &placerFix{
+		arriveR: rand.New(rand.NewSource(43)), // want `NewUnseededPlacer reaches a randomness source`
+		chooseR: rand.New(rand.NewSource(47)),
+		pickR:   rand.New(rand.NewSource(53)),
+	}
+}
+
 // Unexported constructors and non-constructor functions are out of
 // scope for this rule (walltime/globalrand still cover their bodies).
 func newScratch() *widget {

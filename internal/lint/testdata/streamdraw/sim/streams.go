@@ -20,6 +20,10 @@ var StreamNames = []string{
 	"shed",
 	"vm%d",
 	"vm%d.retry",
+	"place.arrive",
+	"place.choose",
+	"migrate.pick",
+	"cluster.vmload%d",
 	"ghost", // want `registered stream "ghost" is never derived`
 }
 
@@ -96,4 +100,37 @@ func (g *gate) sweep() float64 { return g.shedR.Float64() }
 // correlation diagnostic as in derives above.
 func overloadSample(r *RNG) float64 {
 	return r.Stream("overload").Float64()
+}
+
+// placer mirrors the cluster placement-engine shape: the arrival
+// schedule, the placement tie-break, and the migration victim pick each
+// draw from their own stream derived once at construction. Three
+// registered names — silent.
+type placer struct {
+	arriveR, chooseR, pickR *rand.Rand
+}
+
+func newPlacer(r *RNG) *placer {
+	return &placer{
+		arriveR: r.Stream("place.arrive"),
+		chooseR: r.Stream("place.choose"),
+		pickR:   r.Stream("migrate.pick"),
+	}
+}
+
+func (p *placer) schedule() float64  { return p.arriveR.Float64() }
+func (p *placer) tiebreak(n int) int { return p.chooseR.Intn(n) }
+func (p *placer) victim(n int) int   { return p.pickR.Intn(n) }
+
+// Bad: a second engine deriving the victim-pick stream of its own — the
+// two pick sequences would be identical, migrating the same victims.
+func rogueRebalancer(r *RNG) *rand.Rand {
+	return r.Stream("migrate.pick") // want `stream name "migrate.pick" is already derived at .* silently correlated`
+}
+
+// vmLoad mirrors the per-VM recurring-load shape: each hosted VM's
+// jitter stream comes from one constant Sprintf family keyed by VM id —
+// statically auditable, so no diagnostic.
+func vmLoad(r *RNG, id int) *rand.Rand {
+	return r.Stream(fmt.Sprintf("cluster.vmload%d", id))
 }

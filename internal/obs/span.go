@@ -14,7 +14,7 @@ import (
 // spans identically.
 type Span struct {
 	ID    int
-	Class string // "np", "vm", "lend", "reclaim", "softirq", "ipi", "packet", "attempt", "request", "overload"
+	Class string // "np", "vm", "lend", "reclaim", "softirq", "ipi", "packet", "attempt", "request", "overload", "migrate"
 	CPU   int    // physical/logical CPU id; -1 for spans not tied to a core
 	Arg   int64  // pairing key where relevant (IPI id, packet id, VM id)
 	Start sim.Time
@@ -62,6 +62,7 @@ type Derivation struct {
 //	attempt  req_attempt    → req_retry | req_completed | req_deadletter  per Arg (VM id)
 //	request  req_issued     → req_completed | req_deadletter | req_shed   per Arg (VM id)
 //	overload overload_enter → overload_exit   per CPU (-1; LIFO nests rungs)
+//	migrate  vm_migrate_start → vm_migrate_done  per Arg (VM id; CPU moves source→target)
 //
 // A preempt closes both the open lend and the open reclaim window on
 // its CPU: the reclaim is the tail of the lend it interrupts.
@@ -177,6 +178,17 @@ func Derive(events []trace.Event) Derivation {
 			mark(e)
 		case trace.KindOverloadExit:
 			pop("overload", int64(e.CPU), e)
+			mark(e)
+		case trace.KindVMMigrateStart:
+			// The migration span carries the source member as its CPU (the
+			// begin side); the done's Note records the source so timelines
+			// can render the hop even though the span keys on the VM id.
+			push("migrate", e.Arg, e)
+			mark(e)
+		case trace.KindVMMigrateDone:
+			pop("migrate", e.Arg, e)
+			mark(e)
+		case trace.KindVMPlace, trace.KindRebalanceScan:
 			mark(e)
 		case trace.KindSchedSwitch, trace.KindReclaimEscalate,
 			trace.KindDefenseRecover, trace.KindNodeRejoin:

@@ -1,0 +1,141 @@
+package placement
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ClusterNode adapts one core.TaiChi node plus its cluster.Manager to
+// the placer's Member interface. The manager must be built with an
+// enabled cluster.PlacementPolicy (placed mode): arrivals come from the
+// placer via Submit, and dead-letters park for DrainDead instead of
+// resurrecting node-locally.
+type ClusterNode struct {
+	TC  *core.TaiChi
+	Mgr *cluster.Manager
+
+	// VMDPUtil is each hosted VM's modeled data-plane footprint (mean
+	// utilization added while resident, 0 = none). This is what makes
+	// placement consequential: a signal-blind policy stacking VMs on an
+	// already-pressured member pushes its lending slack — and therefore
+	// its overload ladder — further up, and live-migrating a VM away
+	// genuinely cools the source. Set before the run starts.
+	VMDPUtil float64
+
+	// reqs maps cluster VM ids to the node-local startup request so
+	// latency and outcomes can be read back per placed VM; ids is the
+	// reverse map for dead-letter draining.
+	reqs map[int]*cluster.Request
+	ids  map[int]int
+	// loads holds each resident VM's data-plane footprint so Evict can
+	// stop it (migration moves the footprint with the VM).
+	loads map[int]*workload.Background
+}
+
+// NewClusterNode wraps an assembled node and manager.
+func NewClusterNode(tc *core.TaiChi, mgr *cluster.Manager) *ClusterNode {
+	return &ClusterNode{
+		TC:    tc,
+		Mgr:   mgr,
+		reqs:  map[int]*cluster.Request{},
+		ids:   map[int]int{},
+		loads: map[int]*workload.Background{},
+	}
+}
+
+// Advance runs the node's simulation to the barrier instant.
+func (c *ClusterNode) Advance(until sim.Time) { c.TC.Run(until) }
+
+// Sample reads the node's health signals: the overload ladder's smoothed
+// pressure index and rung, the defense mode, the breaker state, and the
+// placed-VM count. A pure read — nothing is drawn or scheduled, so
+// sampled and unsampled runs stay replay-identical.
+func (c *ClusterNode) Sample() Signals {
+	os := c.TC.Sched.OverloadStats()
+	s := Signals{
+		Pressure: os.Pressure,
+		Overload: int(os.State),
+		Defense:  int(c.TC.Sched.DefenseMode()),
+		Resident: c.Mgr.ResidentVMs(),
+	}
+	if c.TC.Breaker != nil && c.TC.Breaker.State() == controlplane.BreakerOpen {
+		s.BreakerOpen = true
+	}
+	return s
+}
+
+// Place issues the VM's startup request on this node and begins hosting
+// its load.
+func (c *ClusterNode) Place(vm int) {
+	req := c.Mgr.Submit()
+	c.reqs[vm] = req
+	c.ids[req.ID] = vm
+	c.Mgr.HostVM(vm)
+	c.hostLoad(vm)
+}
+
+// Admit begins hosting a migrated-in VM's load; the startup request (if
+// still running) stays on its origin node.
+func (c *ClusterNode) Admit(vm int) {
+	c.Mgr.HostVM(vm)
+	c.hostLoad(vm)
+}
+
+// Evict stops hosting the VM's load.
+func (c *ClusterNode) Evict(vm int) {
+	c.Mgr.EvictVM(vm)
+	if bg, ok := c.loads[vm]; ok {
+		bg.Stop()
+		delete(c.loads, vm)
+	}
+}
+
+// hostLoad starts the VM's data-plane footprint, if one is modeled.
+// Idempotent: a re-placement of a still-resident VM keeps one footprint.
+func (c *ClusterNode) hostLoad(vm int) {
+	if c.VMDPUtil <= 0 {
+		return
+	}
+	if _, ok := c.loads[vm]; ok {
+		return
+	}
+	cfg := workload.DefaultBackground(c.VMDPUtil)
+	// The default burst profile (bursts at 0.95 busy) floors the long-run
+	// mean near 0.19 regardless of the requested target — one guest must
+	// be able to model a small footprint, so its bursts run at 4× its
+	// mean instead (the calm state then lands at mean/4, no clamping).
+	cfg.BurstUtilization = 4 * c.VMDPUtil
+	if cfg.BurstUtilization > 0.95 {
+		cfg.BurstUtilization = 0.95
+	}
+	// Coarse per-packet grain (as in the long-horizon experiments): the
+	// footprint exists to move the utilization trajectory, not to measure
+	// per-packet latency.
+	cfg.NetWork *= 8
+	cfg.StorWork *= 8
+	bg := workload.NewBackground(c.TC.Node, cfg)
+	bg.Start()
+	c.loads[vm] = bg
+}
+
+// DrainDead translates the manager's parked dead-letters back to
+// cluster VM ids, in event order.
+func (c *ClusterNode) DrainDead() []int {
+	var out []int
+	for _, req := range c.Mgr.DrainDeadLetters() {
+		if vm, ok := c.ids[req.ID]; ok {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Settled reports whether every issued request reached a terminal state.
+func (c *ClusterNode) Settled() bool { return c.Mgr.Settled() }
+
+// Request returns the node-local startup request for a cluster VM id
+// (nil if the VM was never placed here).
+func (c *ClusterNode) Request(vm int) *cluster.Request { return c.reqs[vm] }

@@ -1,0 +1,184 @@
+// Package placement is the cluster tier above per-node scheduling: a
+// deterministic, signal-driven placer that routes VM-startup requests
+// across a fleet of Tai Chi nodes and live-migrates VMs off hotspots.
+//
+// The paper evaluates Tai Chi at hyperscale — its CP/DP co-scheduling
+// runs fleet-wide, not per node — and the per-node layers already emit
+// the signals a cluster scheduler needs: the overload ladder's EWMA
+// lending-pressure index and rung, the defense mode, and the CP→DP
+// circuit-breaker state. This package closes the loop: pluggable scoring
+// policies (round-robin, spread, binpack, pressure) admit each arrival
+// to a member, and a periodic rebalance scan detects members whose
+// pressure score sits beyond a hysteresis band of the fleet mean for K
+// consecutive scans and migrates VMs off them under a per-scan budget
+// and a per-VM cooldown, with a modeled copy+pause cost.
+//
+// Determinism contract: the engine advances all members in lockstep
+// epochs. Between barriers the member simulations run independently (in
+// parallel via fleet.ForEach — they share no state); at each barrier
+// every decision is taken single-threaded in member-index order, with
+// tie-breaks drawn from the engine's own registered streams
+// ("place.arrive", "place.choose", "migrate.pick"). The result — traces,
+// metrics, report — is byte-identical for any worker count.
+package placement
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Signals is one member's health sample, read at each barrier. Sampling
+// draws nothing and schedules nothing — it is a pure read of state the
+// node already maintains.
+type Signals struct {
+	// Pressure is the overload ladder's smoothed lending-pressure index
+	// (0 when the ladder is not armed).
+	Pressure float64
+	// Overload is the ladder rung (core.OverloadState ordinal, 0 normal
+	// … 3 brownout).
+	Overload int
+	// Defense is the degradation rung (core.DefenseMode ordinal, 0
+	// normal, 1 software-probe fallback, 2 static fallback).
+	Defense int
+	// BreakerOpen reports an open CP→DP circuit breaker.
+	BreakerOpen bool
+	// Resident is how many placed VMs currently load the member.
+	Resident int
+}
+
+// Excluded reports whether the member may receive placements or
+// migrations at all: an open breaker means provisioning cannot reach the
+// DP, and a browned-out node is shedding the load it already has.
+func (s Signals) Excluded() bool {
+	return s.BreakerOpen || s.Overload >= 3
+}
+
+// Score weights, chosen so one overload rung outweighs any realistic
+// pressure delta and residency approximates the pressure a hosted VM
+// will eventually add (its data-plane footprint, which the ladder only
+// registers after its EWMA catches up): the placer should first avoid
+// degraded members, then follow pressure, counting both the load a
+// member reports and the load just routed at it.
+const (
+	weightOverload = 0.5
+	weightDefense  = 0.25
+	weightResident = 0.05
+)
+
+// Score is the pressure policy's scalar: higher means a worse placement
+// target and a hotter rebalance source. It is also the hotspot-detection
+// signal for every policy, so rr and pressure runs measure dwell against
+// the same yardstick.
+func (s Signals) Score() float64 {
+	return s.Pressure +
+		weightOverload*float64(s.Overload) +
+		weightDefense*float64(s.Defense) +
+		weightResident*float64(s.Resident)
+}
+
+// Member is one fleet node as the placer sees it. Implementations must
+// confine all mutation to barrier calls (Place/Admit/Evict/DrainDead)
+// and keep Advance free of shared state — Advance runs in parallel
+// across members. ClusterNode adapts a core.TaiChi + cluster.Manager
+// pair; tests substitute fakes.
+type Member interface {
+	// Advance runs the member's simulation to the barrier instant.
+	Advance(until sim.Time)
+	// Sample reads the member's health signals (pure, no side effects).
+	Sample() Signals
+	// Place admits cluster VM id as a fresh startup: the member issues
+	// the provisioning request and begins hosting the VM's load.
+	Place(vm int)
+	// Admit begins hosting a migrated-in VM's load (no new startup).
+	Admit(vm int)
+	// Evict stops hosting the VM's load (migration out, or re-placement
+	// of a failed startup elsewhere).
+	Evict(vm int)
+	// DrainDead returns — and clears — the cluster VM ids whose startup
+	// request dead-lettered since the last drain, in event order.
+	DrainDead() []int
+	// Settled reports whether every issued request reached a terminal
+	// state (the engine's drain condition).
+	Settled() bool
+}
+
+// Policy names the placement scoring rule.
+type Policy string
+
+const (
+	// PolicyRR is the baseline: rotate through non-excluded members,
+	// blind to every signal. This is what fleet dispatch did before this
+	// package existed, kept as the comparison yardstick.
+	PolicyRR Policy = "rr"
+	// PolicySpread levels resident-VM counts (min Resident wins).
+	PolicySpread Policy = "spread"
+	// PolicyBinpack packs VMs onto the fullest non-excluded member (max
+	// Resident wins), leaving empty members free.
+	PolicyBinpack Policy = "binpack"
+	// PolicyPressure follows the weighted signal score (min Score wins):
+	// avoid degraded members first, then low lending pressure.
+	PolicyPressure Policy = "pressure"
+)
+
+// Valid reports whether p names a known policy.
+func (p Policy) Valid() bool {
+	switch p {
+	case PolicyRR, PolicySpread, PolicyBinpack, PolicyPressure:
+		return true
+	}
+	return false
+}
+
+// choose picks a member among the eligible indices (ascending order).
+// rrNext is the round-robin cursor (used only by PolicyRR); ties under
+// the scoring policies break uniformly from the tie-break stream so no
+// member is structurally favoured. Returns -1 when nothing is eligible.
+func (p Policy) choose(sig []Signals, eligible []int, rrNext *int, r *rand.Rand) int {
+	if len(eligible) == 0 {
+		return -1
+	}
+	if p == PolicyRR {
+		// Next eligible member at or after the cursor, wrapping. The
+		// cursor advances past the pick so consecutive placements rotate.
+		n := len(sig)
+		for off := 0; off < n; off++ {
+			idx := (*rrNext + off) % n
+			for _, e := range eligible {
+				if e == idx {
+					*rrNext = idx + 1
+					return idx
+				}
+			}
+		}
+		return -1
+	}
+	best := []int{eligible[0]}
+	bestKey := p.key(sig[eligible[0]])
+	for _, e := range eligible[1:] {
+		k := p.key(sig[e])
+		switch {
+		case k < bestKey:
+			best, bestKey = best[:0], k
+			best = append(best, e)
+		case k == bestKey:
+			best = append(best, e)
+		}
+	}
+	if len(best) == 1 {
+		return best[0]
+	}
+	return best[r.Intn(len(best))]
+}
+
+// key maps a sample to the policy's ordering (lower is better).
+func (p Policy) key(s Signals) float64 {
+	switch p {
+	case PolicySpread:
+		return float64(s.Resident)
+	case PolicyBinpack:
+		return -float64(s.Resident)
+	default: // PolicyPressure
+		return s.Score()
+	}
+}

@@ -23,6 +23,11 @@ var StreamNames = []string{
 	// Core scheduling and recovery.
 	"core.overload",
 	"core.recovery",
+	// Cluster placement and live migration.
+	"cluster.vmload%d",
+	"migrate.pick",
+	"place.arrive",
+	"place.choose",
 	// Fault injection.
 	"faults.coord",
 	"faults.cp",

@@ -99,6 +99,27 @@ const (
 	// form a lattice-legal ±1 walk.
 	KindOverloadEnter
 	KindOverloadExit
+	// Cluster-placement kinds, emitted by internal/placement's engine into
+	// its own cluster-level tracer (node traces never carry them). CPU is
+	// the fleet member index for all but rebalance_scan.
+	//
+	// KindVMPlace marks a VM-startup request admitted to a member by the
+	// placer. Arg is the cluster VM id; CPU the chosen member, or -1 when
+	// every member was excluded at decision time and the request
+	// dead-letters at cluster level (Note "all-excluded"). A re-placement
+	// of a node-dead-lettered request carries Note "replaced".
+	KindVMPlace
+	// KindVMMigrateStart / KindVMMigrateDone bracket one live migration.
+	// Arg is the VM id; the start's CPU is the source member (Note
+	// "to=<target>"), the done's CPU is the target member (Note
+	// "from=<source>"). Residency stays on the source until the done.
+	KindVMMigrateStart
+	KindVMMigrateDone
+	// KindRebalanceScan marks one periodic rebalance scan. CPU is -1
+	// (cluster-wide), Arg the scan ordinal, and Note carries the hot and
+	// excluded member sets ("hot=1,4 excl=0,2") — the decision-time
+	// exclusion record the audit replayer checks placements against.
+	KindRebalanceScan
 )
 
 var kindNames = map[Kind]string{
@@ -130,6 +151,10 @@ var kindNames = map[Kind]string{
 	KindRequestShed:          "req_shed",
 	KindOverloadEnter:        "overload_enter",
 	KindOverloadExit:         "overload_exit",
+	KindVMPlace:              "vm_place",
+	KindVMMigrateStart:       "vm_migrate_start",
+	KindVMMigrateDone:        "vm_migrate_done",
+	KindRebalanceScan:        "rebalance_scan",
 }
 
 // Kinds returns every named kind in declaration order — the exporter's
